@@ -1,0 +1,20 @@
+"""Bench A1 — ablations of the design choices (DESIGN.md §6).
+
+Measures the upper bound's tightness, the reuse cache's hit rate, and
+the local follower search's speedup over full decomposition.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ablation
+
+
+def test_ablation_mechanisms(benchmark, save_report):
+    result = run_once(
+        benchmark, lambda: ablation.run(dataset="brightkite", budget=8,
+                                        follower_sample=150)
+    )
+    save_report(result)
+    assert result.data["mean_ub_ratio"] >= 1.0
+    assert result.data["cache_hit_rate"] > 0.1
+    assert result.data["follower_speedup"] > 3

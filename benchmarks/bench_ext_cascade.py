@@ -1,0 +1,49 @@
+"""Bench X1 (extension) — cascade protection value of anchor sets.
+
+Not a paper artifact: quantifies the motivation of Section 1 — GAC's
+coreness-reinforcing anchors blunt a departure cascade at least as well
+as random or degree-based anchors.
+"""
+
+import random
+
+from conftest import run_once
+
+from repro.anchors.gac import gac
+from repro.anchors.heuristics import degree_anchors, random_anchors
+from repro.cascade import departure_cascade
+from repro.core.decomposition import core_decomposition, k_core
+from repro.datasets import registry
+
+DATASET = "brightkite"
+THRESHOLD = 3
+BUDGET = 15
+LEAVERS = 40
+
+
+def _run():
+    community = k_core(registry.load(DATASET), THRESHOLD)
+    decomposition = core_decomposition(community)
+    rng = random.Random(42)
+    fringe = sorted(
+        u for u, c in decomposition.coreness.items() if c == THRESHOLD
+    )
+    seeds = rng.sample(fringe, min(LEAVERS, len(fringe)))
+    unprotected = departure_cascade(community, THRESHOLD, seeds)
+    survivors = {"none": len(unprotected.survivors)}
+    for name, anchors in {
+        "rand": random_anchors(community, BUDGET, seed=7),
+        "deg": degree_anchors(community, BUDGET),
+        "gac": gac(community, BUDGET).anchors,
+    }.items():
+        protected = departure_cascade(community, THRESHOLD, seeds, anchors)
+        survivors[name] = len(protected.survivors)
+    return survivors
+
+
+def test_cascade_protection(benchmark):
+    survivors = run_once(benchmark, _run)
+    assert survivors["gac"] >= survivors["none"]
+    assert survivors["gac"] >= survivors["rand"]
+    assert survivors["gac"] >= survivors["deg"]
+    assert survivors["gac"] > survivors["none"], "GAC anchors must save someone"

@@ -1,0 +1,62 @@
+"""Bench X3 (extension) — dynamic maintenance and distributed rounds.
+
+Not a paper artifact: measures the incremental maintainer's edit
+throughput against recompute-from-scratch, and the distributed
+h-index iteration's convergence on a replica dataset.
+"""
+
+import random
+import time
+
+from conftest import run_once
+
+from repro.core.decomposition import core_decomposition
+from repro.core.maintenance import CoreMaintainer
+from repro.datasets import registry
+from repro.distributed import distributed_core_decomposition
+
+DATASET = "brightkite"
+EDITS = 60
+
+
+def _run():
+    graph = registry.load(DATASET)
+    rng = random.Random(3)
+    vertices = sorted(graph.vertices())
+    edits = []
+    probe = graph.copy()
+    while len(edits) < EDITS:
+        u, v = rng.sample(vertices, 2)
+        if not probe.has_edge(u, v):
+            probe.add_edge(u, v)
+            edits.append((u, v))
+
+    maintainer = CoreMaintainer(graph)
+    t0 = time.perf_counter()
+    for u, v in edits:
+        maintainer.insert_edge(u, v)
+    incremental = time.perf_counter() - t0
+    maintainer.validate()
+
+    scratch_graph = graph.copy()
+    t0 = time.perf_counter()
+    for u, v in edits:
+        scratch_graph.add_edge(u, v)
+        core_decomposition(scratch_graph)
+    scratch = time.perf_counter() - t0
+
+    run = distributed_core_decomposition(graph)
+    assert run.estimates == core_decomposition(graph).coreness
+    return {
+        "incremental_s": incremental,
+        "scratch_s": scratch,
+        "speedup": scratch / incremental if incremental else float("inf"),
+        "distributed_rounds": run.rounds,
+        "distributed_messages": run.total_messages,
+    }
+
+
+def test_dynamic_extension(benchmark):
+    data = run_once(benchmark, _run)
+    assert data["speedup"] > 5, "incremental maintenance must beat recompute"
+    assert data["distributed_rounds"] >= 1

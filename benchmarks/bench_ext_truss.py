@@ -1,0 +1,35 @@
+"""Bench X2 (extension) — truss decomposition and anchored trussness.
+
+Not a paper artifact: exercises the §7 future-work direction at dataset
+scale (decomposition + tree build) and the greedy edge-anchoring on a
+snowball sample.
+"""
+
+from conftest import run_once
+
+from repro.datasets import registry
+from repro.datasets.extract import snowball_subgraph
+from repro.truss.anchored import greedy_anchored_trussness, trussness_gain
+from repro.truss.decomposition import TrussComponentTree, truss_decomposition
+
+
+def _run():
+    graph = registry.load("brightkite")
+    decomposition = truss_decomposition(graph)
+    tree = TrussComponentTree.build(graph, decomposition)
+    tree.validate(graph, decomposition)
+    sample = snowball_subgraph(graph, size=60, seed=1)
+    greedy = greedy_anchored_trussness(sample, budget=2)
+    return {
+        "max_trussness": decomposition.max_trussness,
+        "nodes": len({id(n) for n in tree.node_of.values()}),
+        "greedy_gain": greedy.total_gain,
+        "verified_gain": trussness_gain(sample, greedy.anchors),
+    }
+
+
+def test_truss_extension(benchmark):
+    data = run_once(benchmark, _run)
+    assert data["max_trussness"] >= 4
+    assert data["nodes"] > 1
+    assert data["greedy_gain"] == data["verified_gain"]

@@ -1,0 +1,22 @@
+"""Bench F10 — regenerate Figure 10 (OLAK coreness gain vs k).
+
+Expected shape: gain varies substantially with k and the best k differs
+across datasets (no uniform preference).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig10
+
+
+def test_fig10_olak_k(benchmark, save_report):
+    result = run_once(
+        benchmark,
+        lambda: fig10.run(datasets=("brightkite", "gowalla"), budget=15, k_step=2),
+    )
+    save_report(result)
+    for name, gains in result.data.items():
+        values = list(gains.values())
+        assert max(values) > 2 * (min(values) + 1), (
+            f"OLAK gain must vary substantially with k on {name}"
+        )

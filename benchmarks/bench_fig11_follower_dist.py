@@ -1,0 +1,20 @@
+"""Bench F11 — regenerate Figure 11 (follower coreness distributions).
+
+Expected shape mirrors Figure 8: OLAK(k)'s followers sit exactly at
+coreness k-1; GAC's followers span the shells.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig11
+
+
+def test_fig11_follower_distribution(benchmark, save_report):
+    result = run_once(
+        benchmark, lambda: fig11.run(dataset="gowalla", budget=20, olak_ks=(5, 9))
+    )
+    save_report(result)
+    for k in (5, 9):
+        dist = result.data["distributions"][f"OLAK{k}"]
+        assert set(dist) <= {k - 1}, f"OLAK{k} followers must sit at k-1"
+    assert result.data["spreads"]["GAC"] >= 3

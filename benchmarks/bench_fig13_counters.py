@@ -1,0 +1,23 @@
+"""Bench F13 — regenerate Figure 13 (visited tree nodes and vertices).
+
+Expected shape: result reuse (GAC-U) explores fewer tree nodes than
+GAC-U-R, and upper-bound pruning (GAC) cuts the search space further.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig13
+
+DATASETS = ["brightkite", "gowalla", "stanford"]
+
+
+def test_fig13_counters(benchmark, save_report):
+    result = run_once(benchmark, lambda: fig13.run(datasets=DATASETS, budget=15))
+    save_report(result)
+    for name in DATASETS:
+        nodes = result.data["nodes"][name]
+        vertices = result.data["vertices"][name]
+        assert nodes["GAC-U"] < nodes["GAC-U-R"], name
+        assert nodes["GAC"] < nodes["GAC-U-R"], name
+        assert vertices["GAC"] < vertices["GAC-U-R"], name
+        assert result.data["pruned"][name]["GAC"] > 0, name

@@ -1,0 +1,15 @@
+"""Bench F1 — regenerate Figure 1 (coreness vs check-ins, Gowalla)."""
+
+from conftest import run_once
+
+from repro.experiments import fig1
+
+
+def test_fig1_checkins(benchmark, save_report):
+    result = run_once(benchmark, lambda: fig1.run(dataset="gowalla"))
+    save_report(result)
+    averages = result.data["averages"]
+    cores = sorted(averages)
+    low = sum(averages[c] for c in cores[:3]) / 3
+    high = max(averages[c] for c in cores[len(cores) // 2 :])
+    assert high > 2 * low, "coreness and check-ins must correlate (Figure 1)"

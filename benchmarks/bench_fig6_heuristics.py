@@ -1,0 +1,30 @@
+"""Bench F6 — regenerate Figure 6 (GAC vs heuristics, all datasets).
+
+Expected shape: GAC beats every heuristic on every dataset; gains grow
+with the budget (Figure 6 b/c).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig6
+
+
+def test_fig6_heuristics(benchmark, save_report):
+    result = run_once(
+        benchmark,
+        lambda: fig6.run(
+            budget=20,
+            vary_datasets=("brightkite", "gowalla"),
+            vary_budgets=(1, 5, 10, 20),
+        ),
+    )
+    save_report(result)
+    for name, gains in result.data["fixed_budget"].items():
+        others = [gains[m] for m in ("Rand", "Deg", "Deg-C", "SD")]
+        assert gains["GAC"] > max(others), f"GAC must dominate on {name}"
+    for name, by_budget in result.data["by_budget"].items():
+        series = by_budget["GAC"]
+        budgets = sorted(series)
+        assert all(
+            series[a] <= series[b] for a, b in zip(budgets, budgets[1:])
+        ), f"GAC gain must grow with b on {name}"

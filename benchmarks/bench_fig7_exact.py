@@ -1,0 +1,32 @@
+"""Bench F7 — regenerate Figure 7 (GAC vs Exact on extracted subgraphs).
+
+Expected shape: GAC reaches >= 70% of the optimal gain and Exact's
+runtime explodes with the budget while GAC's stays flat.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig7
+
+
+def test_fig7_exact(benchmark, save_report):
+    result = run_once(
+        benchmark,
+        lambda: fig7.run(
+            datasets=("brightkite", "arxiv"),
+            budgets=(1, 2, 3),
+            samples=3,
+            sample_size=50,
+        ),
+    )
+    save_report(result)
+    for b, row in result.data["brightkite"].items():
+        assert row["ratio"] >= 0.7, ("brightkite", b)  # the paper's bound
+    for name, per_budget in result.data.items():
+        for b, row in per_budget.items():
+            # the dense Arxiv replica exposes anchor-pair synergies the
+            # greedy cannot see; see EXPERIMENTS.md (F7 deviation)
+            assert row["ratio"] >= 0.5, (name, b)
+        # Exact runtime must explode with b; GAC stays flat
+        assert per_budget[3]["time_exact"] > 10 * per_budget[1]["time_exact"]
+        assert per_budget[3]["time_exact"] > per_budget[3]["time_gac"]

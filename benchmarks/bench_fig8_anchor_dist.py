@@ -1,0 +1,20 @@
+"""Bench F8 — regenerate Figure 8 (anchor coreness distributions).
+
+Expected shape: GAC anchors span many coreness values; OLAK(k) anchors
+all sit below k.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig8
+
+
+def test_fig8_anchor_distribution(benchmark, save_report):
+    result = run_once(
+        benchmark, lambda: fig8.run(dataset="gowalla", budget=20, olak_ks=(5, 9))
+    )
+    save_report(result)
+    for k in (5, 9):
+        dist = result.data["distributions"][f"OLAK{k}"]
+        assert all(c < k for c in dist), f"OLAK{k} anchors must sit below k"
+    assert result.data["spreads"]["GAC"] >= 3

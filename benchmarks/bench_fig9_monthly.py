@@ -1,0 +1,25 @@
+"""Bench F9 — regenerate Figure 9 (19 monthly activity networks).
+
+Expected shape: average coreness tracks average check-ins across months
+more smoothly than any single k-core's size fraction.
+"""
+
+from conftest import run_once
+
+from repro.analysis.correlation import pearson
+from repro.experiments import fig9
+
+
+def test_fig9_monthly(benchmark, save_report):
+    result = run_once(
+        benchmark, lambda: fig9.run(dataset="gowalla", months=19, k_values=(3, 5, 10))
+    )
+    save_report(result)
+    months = result.data["months"]
+    assert len(months) == 19
+    # later months must dwarf the first months' user counts
+    assert months[-1]["users"] > 5 * months[2]["users"]
+    # avg coreness correlates positively with avg check-ins over months
+    core = [m["avg_coreness"] for m in months]
+    chk = [m["avg_checkins"] for m in months]
+    assert pearson(core, chk) > 0.5

@@ -1,0 +1,55 @@
+"""Bench P1 — substrate throughput (performance regression guard).
+
+Times the primitives everything else is built from, on the largest
+replica: core decomposition (bucket + peel), tree construction, and the
+local follower search over a vertex sample. Regressions here multiply
+through every experiment.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.anchors.followers import find_followers
+from repro.anchors.state import AnchoredState
+from repro.core.decomposition import core_decomposition, peel_decomposition
+from repro.core.tree import CoreComponentTree, TreeAdjacency
+from repro.datasets import registry
+
+DATASET = "livejournal"
+FOLLOWER_SAMPLE = 400
+
+
+def _run():
+    graph = registry.load(DATASET)
+    timings = {}
+
+    t0 = time.perf_counter()
+    core_decomposition(graph)
+    timings["bucket_decomposition_s"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    decomposition = peel_decomposition(graph)
+    timings["peel_decomposition_s"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    tree = CoreComponentTree.build(graph, decomposition)
+    TreeAdjacency(graph, decomposition, tree, anchors=frozenset())
+    timings["tree_and_adjacency_s"] = time.perf_counter() - t0
+
+    state = AnchoredState.build(graph)
+    sample = sorted(graph.vertices())[:FOLLOWER_SAMPLE]
+    t0 = time.perf_counter()
+    total = sum(find_followers(state, u).total for u in sample)
+    timings["follower_search_s"] = time.perf_counter() - t0
+    timings["followers_found"] = total
+    return timings
+
+
+def test_substrate_throughput(benchmark):
+    timings = run_once(benchmark, _run)
+    # generous ceilings: a 10x regression fails loudly, normal noise passes
+    assert timings["bucket_decomposition_s"] < 3.0
+    assert timings["peel_decomposition_s"] < 5.0
+    assert timings["tree_and_adjacency_s"] < 8.0
+    assert timings["follower_search_s"] < 20.0

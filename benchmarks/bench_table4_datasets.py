@@ -1,0 +1,12 @@
+"""Bench T4 — regenerate Table 4 (dataset statistics)."""
+
+from conftest import run_once
+
+from repro.experiments import table4
+
+
+def test_table4_datasets(benchmark, save_report):
+    result = run_once(benchmark, table4.run)
+    save_report(result)
+    edges = [row["edges"] for row in result.data.values()]
+    assert edges == sorted(edges), "Table 4 lists datasets by edge count"

@@ -1,0 +1,20 @@
+"""Bench T7 — regenerate Table 7 (tie-breaking strategies).
+
+Expected shape: GAC-UB / GAC-DG / GAC-RD reach similar total gains and
+overlap substantially in their anchor sets.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table7
+
+DATASETS = ["brightkite", "arxiv", "gowalla"]
+
+
+def test_table7_ties(benchmark, save_report):
+    result = run_once(benchmark, lambda: table7.run(datasets=DATASETS, budget=15))
+    save_report(result)
+    for name, row in result.data.items():
+        gains = [row["gain_ub"], row["gain_dg"], row["gain_rd"]]
+        assert max(gains) <= 1.3 * min(gains), (name, gains)
+        assert row["jaccard_dg"] >= 0.3, name

@@ -1,0 +1,22 @@
+"""Bench T8 — regenerate Table 8 (OLAK vs GAC coreness gain).
+
+Expected shape: even OLAK's best k stays below GAC's gain, and the
+average over k lags far behind (paper: max 46-77%, avg 4-41%).
+"""
+
+from conftest import run_once
+
+from repro.experiments import table8
+
+DATASETS = ["brightkite", "arxiv", "gowalla"]
+
+
+def test_table8_olak_vs_gac(benchmark, save_report):
+    result = run_once(
+        benchmark, lambda: table8.run(datasets=DATASETS, budget=15, k_step=2)
+    )
+    save_report(result)
+    for name, row in result.data.items():
+        assert row["max_pct"] <= 1.0, name
+        assert row["avg_pct"] < row["max_pct"], name
+        assert row["avg_pct"] < 0.75, name

@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench regenerates one table/figure of the paper at reduced scale,
+measures the wall-clock with pytest-benchmark, and writes the formatted
+rows/series to ``benchmarks/results/<name>.txt`` so a bench run leaves
+the reproduction artifacts behind (EXPERIMENTS.md references them).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_report():
+    """A callable that persists an ExperimentResult's formatted output."""
+
+    def _save(result) -> Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{result.name}.txt"
+        path.write_text(result.format() + "\n", encoding="utf-8")
+        return path
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Benchmark a long-running experiment exactly once.
+
+    The experiments take seconds to minutes; pytest-benchmark's default
+    calibration would re-run them dozens of times.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

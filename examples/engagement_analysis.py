@@ -1,0 +1,64 @@
+"""Scenario: validate coreness as an engagement measure (Figures 1 & 9).
+
+A data scientist wants to know whether graph-structural coreness tracks
+actual user activity before adopting the anchored coreness model. This
+example mirrors the paper's Gowalla analysis on the replica dataset with
+simulated check-ins: per-coreness average activity, then the 19-month
+longitudinal comparison between average coreness and k-core sizes.
+
+Run with::
+
+    python examples/engagement_analysis.py
+"""
+
+from repro.datasets import registry
+from repro.datasets.checkins import (
+    average_checkins_by_coreness,
+    monthly_slices,
+    simulate_checkins,
+)
+
+DATASET = "gowalla"
+
+
+def spark(values: list[float], width: int = 40) -> str:
+    """A tiny text bar for terminal-friendly 'plots'."""
+    top = max(values) if values else 1.0
+    blocks = " .:-=+*#%@"
+    return "".join(
+        blocks[min(int(v / top * (len(blocks) - 1)), len(blocks) - 1)] for v in values
+    )
+
+
+def main() -> None:
+    graph = registry.load(DATASET)
+    print(f"{DATASET} replica: {graph}\n")
+
+    print("— Figure 1: does coreness track activity? —")
+    checkins = simulate_checkins(graph, seed=11)
+    averages = average_checkins_by_coreness(graph, checkins)
+    for c, avg in averages.items():
+        bar = "#" * int(avg / 4)
+        print(f"  coreness {c:2d}: {avg:8.1f} {bar}")
+    lows = [averages[c] for c in list(averages)[:3]]
+    highs = [averages[c] for c in list(averages)[-3:]]
+    print(f"  -> mean activity, lowest 3 coreness bins: {sum(lows)/3:.1f}; "
+          f"highest 3 bins: {sum(highs)/3:.1f}")
+
+    print("\n— Figure 9: 19 monthly activity networks —")
+    slices = monthly_slices(graph, months=19, seed=11)
+    print(f"  {'month':>5s} {'users':>6s} {'avg_chk':>8s} {'avg_core':>9s} "
+          f"{'5-core%':>8s}")
+    for s in slices:
+        print(f"  {s.month:5d} {s.user_count():6d} {s.average_checkins():8.1f} "
+              f"{s.average_coreness():9.2f} {100*s.kcore_size_fraction(5):7.1f}%")
+    core_series = [s.average_coreness() for s in slices]
+    chk_series = [s.average_checkins() for s in slices]
+    print(f"\n  avg coreness  |{spark(core_series)}|")
+    print(f"  avg check-ins |{spark(chk_series)}|")
+    print("  (the coreness curve shadows activity as the network grows — "
+          "the paper's argument for the global, coreness-based model)")
+
+
+if __name__ == "__main__":
+    main()

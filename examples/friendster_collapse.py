@@ -1,0 +1,64 @@
+"""Scenario: can anchoring avert a Friendster-style collapse?
+
+The paper's introduction recounts Friendster's death spiral: departures
+lowered friends' engagement, triggering more departures. This example
+simulates that contagion on a replica network and measures how much of
+the collapse each anchoring strategy prevents — the operational payoff
+of the anchored coreness model.
+
+Run with::
+
+    python examples/friendster_collapse.py
+"""
+
+import random
+
+from repro.anchors.gac import gac
+from repro.anchors.heuristics import degree_anchors, random_anchors
+from repro.cascade import departure_cascade
+from repro.core.decomposition import core_decomposition
+from repro.datasets import registry
+
+DATASET = "brightkite"
+THRESHOLD = 3  # a user stays while >= 3 friends remain engaged
+BUDGET = 15
+LEAVERS = 40
+
+
+def main() -> None:
+    network = registry.load(DATASET)
+    # the engaged community: everyone meeting the threshold already
+    from repro.core.decomposition import k_core
+
+    graph = k_core(network, THRESHOLD)
+    print(f"{DATASET} replica, engaged {THRESHOLD}-core community: {graph}\n")
+    decomposition = core_decomposition(graph)
+
+    # the leavers: fringe members of the community (coreness == threshold)
+    rng = random.Random(42)
+    fringe = sorted(u for u, c in decomposition.coreness.items() if c == THRESHOLD)
+    seeds = rng.sample(fringe, min(LEAVERS, len(fringe)))
+
+    unprotected = departure_cascade(graph, THRESHOLD, seeds)
+    print(f"without protection: {len(seeds)} leavers trigger "
+          f"{unprotected.contagion_size} more departures over "
+          f"{unprotected.rounds} waves "
+          f"({len(unprotected.survivors)} of {graph.num_vertices} survive)\n")
+
+    strategies = {
+        "Rand": random_anchors(graph, BUDGET, seed=7),
+        "Deg": degree_anchors(graph, BUDGET),
+        "GAC": gac(graph, BUDGET).anchors,
+    }
+    print(f"anchoring {BUDGET} users before the exodus:")
+    for name, anchors in strategies.items():
+        protected = departure_cascade(graph, THRESHOLD, seeds, anchors)
+        saved = len(protected.survivors) - len(unprotected.survivors)
+        print(f"  {name:6s} contagion {protected.contagion_size:5d} "
+              f"(saves {saved} users vs no protection)")
+    print("\n(the coreness-reinforcing anchors blunt the cascade — they sit "
+          "exactly where the unraveling would propagate)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Scenario: anchored coreness (global) vs anchored k-core (local).
+
+Reproduces the paper's Table 1 on the Figure 2 toy graph, then contrasts
+the two models on a replica dataset: OLAK must commit to one k and only
+lifts that shell; GAC lifts users across every engagement level.
+
+Run with::
+
+    python examples/model_comparison.py
+"""
+
+from repro.analysis.metrics import coreness_distribution
+from repro.anchors.followers import followers_naive
+from repro.anchors.gac import gac
+from repro.core.decomposition import core_decomposition
+from repro.datasets import registry
+from repro.datasets.toy import figure2_graph
+from repro.olak.olak import olak
+
+
+def table1() -> None:
+    graph = figure2_graph()
+    decomposition = core_decomposition(graph)
+    print("— Table 1 on the Figure 2 toy graph —")
+    print(f"corenesses: "
+          f"{ {u: decomposition.coreness[u] for u in sorted(graph.vertices())} }")
+    rows = [
+        ("AK (k=3, b=1)", 1),
+        ("AK (k=4, b=1)", 5),
+        ("AC (b=1)", 2),
+    ]
+    for label, anchor in rows:
+        followers = sorted(followers_naive(graph, anchor))
+        print(f"  {label:14s} anchor u{anchor}: followers "
+              f"{['u%d' % f for f in followers]} (gain {len(followers)})")
+    print()
+
+
+def replica_comparison(dataset: str = "brightkite", budget: int = 10) -> None:
+    graph = registry.load(dataset)
+    print(f"— {dataset} replica, budget {budget} —")
+    gac_result = gac(graph, budget)
+    print(f"GAC: total coreness gain {gac_result.total_gain}")
+    gac_dist = coreness_distribution(graph, gac_result.anchors)
+    print(f"  anchors by coreness: {gac_dist}")
+
+    k_max = core_decomposition(graph).max_coreness
+    best = None
+    for k in range(2, k_max + 2, 2):
+        result = olak(graph, k, budget)
+        if best is None or result.coreness_gain > best.coreness_gain:
+            best = result
+    assert best is not None
+    print(f"OLAK (best k={best.k}): coreness gain {best.coreness_gain} "
+          f"({100 * best.coreness_gain / max(gac_result.total_gain, 1):.0f}% of GAC)")
+    olak_dist = coreness_distribution(graph, best.anchors)
+    print(f"  anchors by coreness: {olak_dist}")
+    print("  (OLAK anchors pin below its k; GAC anchors range freely — "
+          "the global model strictly dominates even OLAK's best k)")
+
+
+def main() -> None:
+    table1()
+    replica_comparison()
+
+
+if __name__ == "__main__":
+    main()

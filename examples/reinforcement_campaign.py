@@ -1,0 +1,65 @@
+"""Scenario: plan a user-retention campaign on a social network.
+
+A network operator has the budget to give retention incentives
+("anchors") to a handful of users and wants the largest global
+engagement lift. This example compares the strategies a product team
+might try — random picks, the most-followed users, and the paper's GAC
+algorithm — then profiles who GAC actually selects.
+
+Run with::
+
+    python examples/reinforcement_campaign.py
+"""
+
+from repro.analysis.metrics import anchor_characteristics, coreness_distribution
+from repro.anchors.gac import gac
+from repro.anchors.heuristics import (
+    degree_anchors,
+    degree_minus_coreness_anchors,
+    random_anchors,
+    successive_degree_anchors,
+)
+from repro.core.decomposition import core_decomposition, coreness_gain
+from repro.datasets import registry
+
+DATASET = "gowalla"
+BUDGET = 15
+
+
+def main() -> None:
+    graph = registry.load(DATASET)
+    base = core_decomposition(graph)
+    print(f"{DATASET} replica: {graph} (k_max={base.max_coreness})\n")
+
+    print(f"campaign budget: {BUDGET} incentivized users")
+    print(f"{'strategy':12s}  {'engagement lift (coreness gain)'}")
+    strategies = {
+        "Rand": random_anchors(graph, BUDGET, seed=7),
+        "Deg": degree_anchors(graph, BUDGET),
+        "Deg-C": degree_minus_coreness_anchors(graph, BUDGET),
+        "SD": successive_degree_anchors(graph, BUDGET),
+    }
+    for name, anchors in strategies.items():
+        print(f"{name:12s}  {coreness_gain(graph, anchors, base=base)}")
+    result = gac(graph, BUDGET)
+    print(f"{'GAC':12s}  {result.total_gain}")
+
+    print("\nwho does GAC pick?")
+    chars = anchor_characteristics(graph, result.anchors)
+    print(f"  mean degree of anchors: {chars.degree_anchors:.1f} "
+          f"(network average {chars.degree_avg:.1f})")
+    print(f"  percentile by degree: {chars.p_degree:.2f}, "
+          f"by coreness: {chars.p_coreness:.2f}, "
+          f"by successive degree: {chars.p_successive_degree:.2f}")
+    dist = coreness_distribution(graph, result.anchors)
+    print(f"  anchors per coreness value: {dist}")
+    print("  (anchors spread across engagement levels — the campaign "
+          "reinforces the whole network, not one shell)")
+
+    print("\nmarginal lift per incentive (greedy order):")
+    for i, (anchor, gain) in enumerate(zip(result.anchors, result.gains), 1):
+        print(f"  {i:2d}. user {anchor}: +{gain}")
+
+
+if __name__ == "__main__":
+    main()

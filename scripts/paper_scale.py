@@ -1,0 +1,95 @@
+"""Run the headline experiments at the paper's budget (b = 100).
+
+The benchmark suite keeps budgets small so it finishes in minutes; this
+script reproduces Figure 6(a) and Table 8 at the paper's b = 100 on all
+eight replicas. Expect a long single-core run (tens of minutes in pure
+Python). Results are appended to ``benchmarks/results/paper_scale.txt``.
+
+Usage::
+
+    python scripts/paper_scale.py [--budget 100] [--datasets a,b,...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.anchors.gac import gac
+from repro.core.decomposition import core_decomposition
+from repro.datasets import registry
+from repro.experiments import fig6
+from repro.experiments.reporting import ExperimentResult, Table
+from repro.olak.olak import olak
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=int, default=100)
+    parser.add_argument("--datasets", help="comma-separated subset (default: all)")
+    parser.add_argument("--olak-k-step", type=int, default=3)
+    parser.add_argument(
+        "--output",
+        help="where to write the report "
+        "(default: benchmarks/results/paper_scale.txt)",
+    )
+    args = parser.parse_args(argv)
+    names = args.datasets.split(",") if args.datasets else registry.names()
+
+    result = ExperimentResult(name="paper_scale")
+    fig6_table = Table(
+        title=f"Figure 6(a) at b={args.budget}",
+        headers=["Dataset", "Rand", "Deg", "Deg-C", "SD", "GAC", "gac_seconds"],
+    )
+    t8_table = Table(
+        title=f"Table 8 at b={args.budget}",
+        headers=["Dataset", "GAC_gain", "best_k", "max_OLAK", "avg_OLAK"],
+    )
+
+    for name in names:
+        graph = registry.load(name)
+        t0 = time.perf_counter()
+        gains = fig6.gains_by_budget(graph, [args.budget])
+        elapsed = time.perf_counter() - t0
+        row = {m: gains[m][args.budget] for m in fig6.HEURISTIC_ORDER}
+        fig6_table.rows.append(
+            [registry.spec(name).display, *row.values(), round(elapsed, 1)]
+        )
+        print(f"[fig6a] {name}: {row} ({elapsed:.0f}s)", flush=True)
+
+        gac_gain = gac(graph, args.budget).total_gain
+        k_max = core_decomposition(graph).max_coreness
+        olak_gains = {
+            k: olak(graph, k, args.budget).coreness_gain
+            for k in range(2, k_max + 2, args.olak_k_step)
+        }
+        best_k = max(olak_gains, key=lambda k: (olak_gains[k], -k))
+        t8_table.rows.append(
+            [
+                registry.spec(name).display,
+                gac_gain,
+                best_k,
+                olak_gains[best_k],
+                sum(olak_gains.values()) / len(olak_gains),
+            ]
+        )
+        print(f"[table8] {name}: gac={gac_gain} best_k={best_k}", flush=True)
+
+    result.tables = [fig6_table, t8_table]
+    if args.output:
+        target = Path(args.output)
+    else:
+        out = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+        out.mkdir(exist_ok=True)
+        target = out / "paper_scale.txt"
+    target.write_text(result.format() + "\n", encoding="utf-8")
+    print(result.format())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

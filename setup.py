@@ -1,0 +1,10 @@
+"""Shim so legacy installs work in offline environments without `wheel`.
+
+Modern installs use pyproject.toml; this exists because the pinned
+offline toolchain (setuptools 65, no wheel package) cannot build PEP 660
+editable wheels, so ``python setup.py develop`` is the fallback.
+"""
+
+from setuptools import setup
+
+setup()

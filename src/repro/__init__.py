@@ -1,0 +1,20 @@
+"""repro — a reproduction of the SIGMOD 2020 anchored coreness system.
+
+Public API highlights:
+
+* :class:`repro.graphs.Graph` — the graph substrate.
+* :func:`repro.core.core_decomposition` / :func:`repro.core.peel_decomposition`
+  — core decomposition with anchors (Algorithm 1).
+* :mod:`repro.anchors` — the GAC greedy algorithm (Algorithm 6), its
+  ablated variants, simple heuristics, and the exact solver.
+* :mod:`repro.olak` — the anchored k-core baseline (OLAK).
+* :mod:`repro.datasets` — deterministic synthetic replicas of the paper's
+  eight datasets plus the check-in engagement model.
+* :mod:`repro.experiments` — one runner per table/figure of Section 5.
+"""
+
+from repro.graphs.graph import Graph
+
+__version__ = "1.0.0"
+
+__all__ = ["Graph", "__version__"]

@@ -1,0 +1,26 @@
+"""Analysis metrics: anchor characteristics, similarity, distributions, stats."""
+
+from repro.analysis.correlation import pearson, spearman
+from repro.analysis.onion import OnionSpectrum, onion_spectrum
+from repro.analysis.metrics import (
+    AnchorCharacteristics,
+    anchor_characteristics,
+    coreness_distribution,
+    distribution_spread,
+    jaccard_index,
+)
+from repro.analysis.stats import GraphStats, graph_stats
+
+__all__ = [
+    "AnchorCharacteristics",
+    "GraphStats",
+    "OnionSpectrum",
+    "anchor_characteristics",
+    "coreness_distribution",
+    "distribution_spread",
+    "graph_stats",
+    "jaccard_index",
+    "onion_spectrum",
+    "pearson",
+    "spearman",
+]

@@ -1,0 +1,50 @@
+"""Correlation statistics for the engagement analyses (Figures 1 and 9).
+
+Dependency-free Pearson and Spearman implementations — the library's
+check-in experiments quantify "coreness tracks engagement" with these
+instead of eyeballing curves.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient (0.0 for degenerate inputs)."""
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    vx = sum((x - mx) ** 2 for x in xs) ** 0.5
+    vy = sum((y - my) ** 2 for y in ys) ** 0.5
+    if vx == 0.0 or vy == 0.0:
+        return 0.0
+    return cov / (vx * vy)
+
+
+def _average_ranks(values: Sequence[float]) -> list[float]:
+    """1-based ranks with ties assigned their average rank."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        avg = (i + j) / 2 + 1
+        for idx in range(i, j + 1):
+            ranks[order[idx]] = avg
+        i = j + 1
+    return ranks
+
+
+def spearman(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman rank correlation (Pearson on average ranks)."""
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    return pearson(_average_ranks(xs), _average_ranks(ys))

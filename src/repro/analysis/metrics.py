@@ -1,0 +1,114 @@
+"""Analysis metrics for anchor sets and follower sets (Section 5.1).
+
+Implements the measurements behind Table 6 (anchor characteristics),
+Table 7 (solution similarity), and Figures 8/11 (coreness
+distributions of anchors and followers).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Collection, Iterable
+from dataclasses import dataclass
+
+from repro.core.decomposition import _sort_key, core_decomposition, peel_decomposition
+from repro.core.layers import all_successive_degrees
+from repro.graphs.graph import Graph, Vertex
+
+
+@dataclass(frozen=True)
+class AnchorCharacteristics:
+    """Table 6's row for one dataset/anchor set.
+
+    Attributes:
+        degree_avg: mean degree over all vertices (``Deg_avg``).
+        degree_anchors: mean degree of the anchors (``Deg_anc``).
+        p_degree: mean percentile rank of anchors by degree (``p_Deg``).
+        p_coreness: mean percentile rank by coreness (``p_CN``).
+        p_successive_degree: mean percentile rank by successive degree
+            (``p_SD``).
+    """
+
+    degree_avg: float
+    degree_anchors: float
+    p_degree: float
+    p_coreness: float
+    p_successive_degree: float
+
+
+def _percentile_rank(scores: dict[Vertex, float], anchors: Collection[Vertex]) -> float:
+    """Mean rank of anchors in ascending score order, as a fraction of n.
+
+    ``p = sum(O_x) / (|A| * n)`` exactly as the paper defines it; tied
+    scores take their average rank so the statistic is order-independent.
+    """
+    if not anchors:
+        return 0.0
+    ordered = sorted(scores, key=lambda u: (scores[u], _sort_key(u)))
+    rank_of: dict[Vertex, float] = {}
+    i = 0
+    while i < len(ordered):
+        j = i
+        while j + 1 < len(ordered) and scores[ordered[j + 1]] == scores[ordered[i]]:
+            j += 1
+        avg_rank = (i + j) / 2 + 1  # 1-based average rank of the tie group
+        for idx in range(i, j + 1):
+            rank_of[ordered[idx]] = avg_rank
+        i = j + 1
+    n = len(ordered)
+    return sum(rank_of[x] for x in anchors) / (len(anchors) * n)
+
+
+def anchor_characteristics(
+    graph: Graph, anchors: Collection[Vertex]
+) -> AnchorCharacteristics:
+    """Compute the Table 6 statistics for an anchor set."""
+    decomposition = peel_decomposition(graph)
+    degrees = {u: float(graph.degree(u)) for u in graph.vertices()}
+    coreness = {u: float(c) for u, c in decomposition.coreness.items()}
+    successive = {
+        u: float(s) for u, s in all_successive_degrees(graph, decomposition).items()
+    }
+    degree_avg = sum(degrees.values()) / max(len(degrees), 1)
+    degree_anchors = (
+        sum(degrees[x] for x in anchors) / len(anchors) if anchors else 0.0
+    )
+    return AnchorCharacteristics(
+        degree_avg=degree_avg,
+        degree_anchors=degree_anchors,
+        p_degree=_percentile_rank(degrees, anchors),
+        p_coreness=_percentile_rank(coreness, anchors),
+        p_successive_degree=_percentile_rank(successive, anchors),
+    )
+
+
+def jaccard_index(a: Iterable[Vertex], b: Iterable[Vertex]) -> float:
+    """``|A ∩ B| / |A ∪ B|`` (Table 7's solution similarity)."""
+    sa, sb = set(a), set(b)
+    union = sa | sb
+    if not union:
+        return 1.0
+    return len(sa & sb) / len(union)
+
+
+def coreness_distribution(
+    graph: Graph, vertices: Iterable[Vertex]
+) -> dict[int, int]:
+    """How many of ``vertices`` sit at each coreness value (Figs 8/11).
+
+    Coreness is measured in the *unanchored* graph — the paper plots the
+    anchors' and followers' original coreness values.
+    """
+    decomposition = core_decomposition(graph)
+    counts = Counter(decomposition.coreness[u] for u in vertices)
+    return dict(sorted(counts.items()))
+
+
+def distribution_spread(distribution: dict[int, int]) -> int:
+    """Number of distinct coreness values covered (diversity headline).
+
+    The paper's Figure 8 point is qualitative: GAC anchors spread across
+    many coreness values while OLAK(k) anchors pin at < k. This scalar
+    makes the comparison assertable in tests and benches.
+    """
+    return sum(1 for count in distribution.values() if count > 0)

@@ -1,0 +1,73 @@
+"""Onion spectrum — a network portrait built on the shell layers.
+
+The shell-layer pairs of Section 4.4 are exactly the *onion
+decomposition* of Hébert-Dufresne et al. (2016): within each k-shell,
+the deletion batches form layers whose sizes profile how "crusty" or
+"dense-centered" a network is. Since the anchored-coreness machinery
+already computes the layers, the spectrum comes for free and gives the
+replica datasets a structural fingerprint to compare against real
+networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.decomposition import CoreDecomposition, peel_decomposition
+from repro.graphs.graph import Graph
+
+
+@dataclass(frozen=True)
+class OnionSpectrum:
+    """Layer-size profile of a graph.
+
+    Attributes:
+        layer_sizes: ``(k, i) -> |H_k^i|`` for every non-empty layer.
+        total_layers: number of non-empty layers over all shells.
+    """
+
+    layer_sizes: dict[tuple[int, int], int]
+
+    @property
+    def total_layers(self) -> int:
+        return len(self.layer_sizes)
+
+    def shell_profile(self, k: int) -> list[int]:
+        """Layer sizes of one shell, in layer order."""
+        entries = sorted(
+            (i, size) for (kk, i), size in self.layer_sizes.items() if kk == k
+        )
+        return [size for _, size in entries]
+
+    def layers_per_shell(self) -> dict[int, int]:
+        """How many deletion batches each shell took."""
+        counts: dict[int, int] = {}
+        for (k, _), _size in self.layer_sizes.items():
+            counts[k] = counts.get(k, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def mean_layer_depth(self) -> float:
+        """Average layer index weighted by layer size.
+
+        Tree-like peripheries peel in many thin layers (large depth);
+        dense cores collapse in one or two batches (depth near 1).
+        """
+        total = sum(self.layer_sizes.values())
+        if total == 0:
+            return 0.0
+        weighted = sum(i * size for (_, i), size in self.layer_sizes.items())
+        return weighted / total
+
+
+def onion_spectrum(
+    graph: Graph, decomposition: CoreDecomposition | None = None
+) -> OnionSpectrum:
+    """Compute the onion spectrum (reuses a peel decomposition if given)."""
+    if decomposition is None or not decomposition.shell_layer:
+        decomposition = peel_decomposition(graph)
+    sizes: dict[tuple[int, int], int] = {}
+    for u, pair in decomposition.shell_layer.items():
+        if u in decomposition.anchors:
+            continue
+        sizes[pair] = sizes.get(pair, 0) + 1
+    return OnionSpectrum(layer_sizes=dict(sorted(sizes.items())))

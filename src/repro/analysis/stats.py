@@ -1,0 +1,31 @@
+"""Dataset statistics (Table 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.decomposition import core_decomposition
+from repro.graphs.graph import Graph
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """One row of Table 4."""
+
+    nodes: int
+    edges: int
+    degree_avg: float
+    degree_max: int
+    k_max: int
+
+
+def graph_stats(graph: Graph) -> GraphStats:
+    """Compute n, m, d_avg, d_max, k_max for a graph."""
+    decomposition = core_decomposition(graph)
+    return GraphStats(
+        nodes=graph.num_vertices,
+        edges=graph.num_edges,
+        degree_avg=graph.average_degree(),
+        degree_max=graph.max_degree(),
+        k_max=decomposition.max_coreness,
+    )

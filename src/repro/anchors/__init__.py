@@ -1,0 +1,81 @@
+"""Anchored coreness algorithms: GAC, ablations, baselines, and the exact solver."""
+
+from repro.anchors.bounds import UpperBounds, compute_upper_bounds, refined_total
+from repro.anchors.collapsed import (
+    CollapsedResult,
+    greedy_collapsed_kcore,
+    kcore_after_collapse,
+)
+from repro.anchors.costs import (
+    BudgetedResult,
+    budgeted_anchored_coreness,
+    degree_proportional_costs,
+    uniform_costs,
+)
+from repro.anchors.exact import ExactResult, exact_anchored_coreness
+from repro.anchors.followers import (
+    FollowerCounters,
+    FollowerReport,
+    find_followers,
+    followers_naive,
+)
+from repro.anchors.gac import (
+    GreedyResult,
+    IterationTrace,
+    baseline,
+    gac,
+    gac_u,
+    gac_u_r,
+    greedy_anchored_coreness,
+)
+from repro.anchors.heuristics import (
+    HEURISTICS,
+    degree_anchors,
+    degree_minus_coreness_anchors,
+    random_anchors,
+    successive_degree_anchors,
+)
+from repro.anchors.incremental import apply_anchor
+from repro.anchors.localsearch import LocalSearchResult, local_search_polish
+from repro.anchors.lookahead import LookaheadResult, lookahead_anchored_coreness
+from repro.anchors.reuse import FollowerCache, result_reuse
+from repro.anchors.state import AnchoredState
+
+__all__ = [
+    "AnchoredState",
+    "BudgetedResult",
+    "CollapsedResult",
+    "ExactResult",
+    "FollowerCache",
+    "FollowerCounters",
+    "FollowerReport",
+    "GreedyResult",
+    "HEURISTICS",
+    "IterationTrace",
+    "LocalSearchResult",
+    "LookaheadResult",
+    "UpperBounds",
+    "apply_anchor",
+    "baseline",
+    "budgeted_anchored_coreness",
+    "compute_upper_bounds",
+    "degree_anchors",
+    "degree_proportional_costs",
+    "degree_minus_coreness_anchors",
+    "exact_anchored_coreness",
+    "find_followers",
+    "followers_naive",
+    "gac",
+    "greedy_collapsed_kcore",
+    "gac_u",
+    "gac_u_r",
+    "greedy_anchored_coreness",
+    "kcore_after_collapse",
+    "local_search_polish",
+    "lookahead_anchored_coreness",
+    "random_anchors",
+    "refined_total",
+    "result_reuse",
+    "successive_degree_anchors",
+    "uniform_costs",
+]

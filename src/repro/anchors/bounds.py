@@ -1,0 +1,90 @@
+"""Upper bound of the follower count (Section 4.5, Equations 1-3).
+
+For a candidate anchor ``x`` the bound ``UB_sigma(x)`` dominates
+``|F(x)|`` (Theorem 4.17): every vertex reachable from ``x`` by an
+upstair path is counted at least once. It is computed for *all* vertices
+in one O(m) pass by processing vertices in reverse order of their
+shell-layer pairs — a topological order of the upstair-edge DAG — so the
+own-node bound of every vertex is ready before anyone sums over it.
+
+The GAC algorithm scans candidates in decreasing bound order and skips
+any candidate whose bound cannot beat the best gain found so far; after
+each anchoring, cached exact counts ``F[u][id]`` replace the per-node
+bound parts where available ("Upper Bound Refining").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.anchors.state import AnchoredState
+from repro.core.tree import NodeId
+from repro.graphs.graph import Vertex
+
+
+@dataclass
+class UpperBounds:
+    """Per-candidate follower-count bounds.
+
+    Attributes:
+        own: ``UB_{i_u}(u)`` — bound on followers inside u's own node (Eq 1).
+        parts: per node id in ``sn(u)``, the bound on ``|F[u][id]|``
+            (``own[u]`` for the own node, Eq 2 for deeper nodes).
+        total: ``UB_sigma(u)`` (Eq 3) — the sum of ``parts[u]``.
+    """
+
+    own: dict[Vertex, int] = field(default_factory=dict)
+    parts: dict[Vertex, dict[NodeId, int]] = field(default_factory=dict)
+    total: dict[Vertex, int] = field(default_factory=dict)
+
+
+def compute_upper_bounds(state: AnchoredState) -> UpperBounds:
+    """Equations 1-3 for every non-anchor vertex of the current state."""
+    graph = state.graph
+    anchors = state.anchors
+    pairs = state.decomposition.shell_layer
+    bounds = UpperBounds()
+    own = bounds.own
+
+    # Reverse topological order of the upstair DAG: descending (k, i).
+    # Ties (equal pairs) carry no upstair edges, so any tie order works.
+    candidates = [u for u in graph.vertices() if u not in anchors]
+    for u in sorted(candidates, key=lambda v: pairs[v], reverse=True):
+        ku, iu = pairs[u]
+        acc = 0
+        for v in graph.neighbors(u):
+            if v in anchors:
+                continue
+            kv, iv = pairs[v]
+            if kv == ku and iv > iu:
+                acc += own[v] + 1
+        own[u] = acc
+
+    node_of = state.tree.node_of
+    for u in candidates:
+        i_u = node_of[u].node_id
+        parts: dict[NodeId, int] = {i_u: own[u]}
+        tca_u = state.tca(u)
+        for nid in state.sn(u):
+            if nid == i_u:
+                continue
+            parts[nid] = sum(own[v] + 1 for v in tca_u[nid] if v not in anchors)
+        bounds.parts[u] = parts
+        bounds.total[u] = sum(parts.values())
+    return bounds
+
+
+def refined_total(
+    u: Vertex,
+    bounds: UpperBounds,
+    cached_counts: dict[NodeId, int],
+) -> int:
+    """``UB_sigma(u)`` with exact cached counts substituted where valid.
+
+    A cached ``|F[u][id]|`` is both exact and <= the bound part, so the
+    refined total is a tighter valid bound (Section 4.5, "Upper Bound
+    Refining"). ``cached_counts`` must already be validated against the
+    current state (see ``FollowerCache.valid_counts``).
+    """
+    parts = bounds.parts[u]
+    return sum(cached_counts.get(nid, part) for nid, part in parts.items())

@@ -1,0 +1,98 @@
+"""The collapsed k-core problem — the adversarial dual of anchoring.
+
+Zhang et al. (AAAI 2017), cited by the paper as part of the same
+engagement-dynamics line: find ``b`` *collapsers* whose departure
+shrinks the k-core the most. Where anchoring asks "whom do we pay to
+stay", collapsing asks "whose loss hurts the most" — the paper's
+Friendster motivation run in reverse. Implemented as the standard
+greedy: each step removes the vertex whose deletion (plus the follow-on
+cascade) evicts the most k-core members.
+
+The cascade equilibrium reuses :mod:`repro.cascade` — a collapser is a
+seeded departure, and the residual engaged set is the k-core of the
+remaining graph.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.cascade import departure_cascade
+from repro.core.decomposition import _sort_key, core_decomposition
+from repro.errors import BudgetError
+from repro.graphs.graph import Graph, Vertex
+
+
+@dataclass
+class CollapsedResult:
+    """Outcome of the greedy collapsed k-core run.
+
+    Attributes:
+        k: the engagement threshold.
+        collapsers: chosen vertices in selection order.
+        evictions: per collapser, how many members its removal evicted
+            from the k-core (including itself if it was a member).
+        initial_core_size: |k-core| before any removal.
+        final_core_size: |k-core| after all removals.
+    """
+
+    k: int
+    collapsers: list[Vertex] = field(default_factory=list)
+    evictions: list[int] = field(default_factory=list)
+    initial_core_size: int = 0
+    final_core_size: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def total_evicted(self) -> int:
+        return self.initial_core_size - self.final_core_size
+
+
+def kcore_after_collapse(graph: Graph, k: int, collapsers: set[Vertex]) -> set[Vertex]:
+    """Members of the k-core once ``collapsers`` are deleted."""
+    result = departure_cascade(graph, k, seeds=collapsers)
+    return result.survivors
+
+
+def greedy_collapsed_kcore(graph: Graph, k: int, budget: int) -> CollapsedResult:
+    """Greedy collapsers: each step maximizes the k-core shrinkage.
+
+    Candidates are current k-core members — removing anyone else cannot
+    touch the k-core. Ties break toward the smallest vertex id.
+
+    Raises:
+        BudgetError: on an invalid budget.
+    """
+    if budget < 0 or budget > graph.num_vertices:
+        raise BudgetError(f"budget {budget} invalid for n={graph.num_vertices}")
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    start = time.perf_counter()
+
+    base = core_decomposition(graph)
+    core = {u for u, c in base.coreness.items() if c >= k}
+    result = CollapsedResult(k=k, initial_core_size=len(core))
+    collapsers: set[Vertex] = set()
+    current = set(core)
+
+    for _ in range(budget):
+        if not current:
+            break
+        best: Vertex | None = None
+        best_core: set[Vertex] = set()
+        best_loss = -1
+        for u in sorted(current, key=_sort_key):
+            remaining = kcore_after_collapse(graph, k, collapsers | {u})
+            loss = len(current) - len(remaining)
+            if loss > best_loss:
+                best, best_core, best_loss = u, remaining, loss
+        if best is None:
+            break
+        collapsers.add(best)
+        current = best_core
+        result.collapsers.append(best)
+        result.evictions.append(best_loss)
+    result.final_core_size = len(current)
+    result.elapsed_seconds = time.perf_counter() - start
+    return result

@@ -1,0 +1,163 @@
+"""Cost-budgeted anchored coreness — non-uniform incentive prices.
+
+The paper's model charges every anchor one budget unit, but retaining a
+hub user plainly costs more than retaining a casual one. This variant
+assigns each vertex an anchoring cost and greedily spends a *monetary*
+budget, using the classic budgeted-maximization recipe: run both the
+best-rate (gain per cost) and best-gain greedy and keep the better
+outcome — the standard guard against rate-greedy's blind spot on large
+cheap-ish items. Marginal gains reuse the paper's fast local follower
+search.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.anchors.followers import find_followers
+from repro.anchors.incremental import apply_anchor
+from repro.anchors.state import AnchoredState
+from repro.core.decomposition import _sort_key, core_decomposition
+from repro.errors import BudgetError
+from repro.graphs.graph import Graph, Vertex
+
+
+def uniform_costs(graph: Graph, cost: float = 1.0) -> dict[Vertex, float]:
+    """Every vertex costs the same — recovers the paper's model."""
+    return {u: cost for u in graph.vertices()}
+
+
+def degree_proportional_costs(
+    graph: Graph, base: float = 1.0, per_degree: float = 0.25
+) -> dict[Vertex, float]:
+    """Costs growing linearly with degree (hubs demand larger incentives)."""
+    return {u: base + per_degree * graph.degree(u) for u in graph.vertices()}
+
+
+@dataclass
+class BudgetedResult:
+    """Outcome of one budgeted greedy run.
+
+    Attributes:
+        anchors: chosen anchors in selection order.
+        gains: marginal coreness gain of each anchor.
+        costs: cost paid for each anchor.
+        strategy: ``"rate"``, ``"gain"``, or ``"best-of-both"``.
+    """
+
+    anchors: list[Vertex] = field(default_factory=list)
+    gains: list[int] = field(default_factory=list)
+    costs: list[float] = field(default_factory=list)
+    strategy: str = ""
+    elapsed_seconds: float = 0.0
+
+    @property
+    def total_gain(self) -> int:
+        return sum(self.gains)
+
+    @property
+    def total_cost(self) -> float:
+        return sum(self.costs)
+
+
+def budgeted_anchored_coreness(
+    graph: Graph,
+    budget: float,
+    costs: Mapping[Vertex, float] | None = None,
+    strategy: str = "best-of-both",
+) -> BudgetedResult:
+    """Greedy anchoring under a monetary budget.
+
+    Args:
+        graph: the social network.
+        budget: total spend allowed (same unit as ``costs``).
+        costs: per-vertex anchoring cost; defaults to uniform 1.0.
+        strategy: ``"rate"`` (max gain/cost), ``"gain"`` (max gain among
+            affordable), or ``"best-of-both"`` (run both, keep the
+            higher total — the classic budgeted-greedy guard).
+
+    Raises:
+        BudgetError: on a negative budget.
+        ValueError: on an unknown strategy or non-positive costs.
+    """
+    if budget < 0:
+        raise BudgetError(f"budget must be non-negative, got {budget}")
+    if costs is None:
+        costs = uniform_costs(graph)
+    for u, c in costs.items():
+        if c <= 0:
+            raise ValueError(f"cost of {u!r} must be positive, got {c}")
+    if strategy == "best-of-both":
+        rate = _greedy(graph, budget, costs, "rate")
+        gain = _greedy(graph, budget, costs, "gain")
+        best = rate if rate.total_gain >= gain.total_gain else gain
+        best.strategy = "best-of-both"
+        best.elapsed_seconds = rate.elapsed_seconds + gain.elapsed_seconds
+        return best
+    if strategy in ("rate", "gain"):
+        return _greedy(graph, budget, costs, strategy)
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def _greedy(
+    graph: Graph,
+    budget: float,
+    costs: Mapping[Vertex, float],
+    strategy: str,
+) -> BudgetedResult:
+    start = time.perf_counter()
+    result = BudgetedResult(strategy=strategy)
+    base_coreness = dict(core_decomposition(graph).coreness)
+    anchors: list[Vertex] = []
+    remaining = budget
+    state = AnchoredState.build(graph)
+
+    while True:
+        affordable = [
+            u for u in state.candidates() if costs.get(u, 1.0) <= remaining
+        ]
+        if not affordable:
+            break
+        best: Vertex | None = None
+        best_key: tuple[float, object] | None = None
+        best_gain = 0
+        for u in affordable:
+            own_gain = state.coreness(u) - base_coreness[u]
+            gain = find_followers(state, u).total - own_gain
+            if strategy == "rate":
+                score = gain / costs.get(u, 1.0)
+            else:
+                score = float(gain)
+            key = (score, _NegId(u))
+            if best_key is None or key > best_key:
+                best, best_key, best_gain = u, key, gain
+        if best is None or best_gain <= 0:
+            break
+        anchors.append(best)
+        apply_anchor(state, best, compute_removals=False)
+        remaining -= costs.get(best, 1.0)
+        result.anchors.append(best)
+        result.gains.append(best_gain)
+        result.costs.append(costs.get(best, 1.0))
+    result.elapsed_seconds = time.perf_counter() - start
+    return result
+
+
+class _NegId:
+    """Tie key: the smaller vertex id compares greater."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, u: Vertex) -> None:
+        self.key = _sort_key(u)
+
+    def __lt__(self, other: "_NegId") -> bool:
+        return self.key > other.key
+
+    def __gt__(self, other: "_NegId") -> bool:
+        return self.key < other.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _NegId) and self.key == other.key

@@ -1,0 +1,240 @@
+"""Follower computation for a candidate anchor (Algorithms 4 and 5).
+
+Anchoring ``x`` raises the coreness of its *followers* by exactly one
+(Theorem 4.6). ``find_followers`` computes them without re-running core
+decomposition: for each tree node adjacent to ``x`` (Theorem 4.7), it
+explores only the candidate followers reachable via upstair paths
+(Theorem 4.14), in a min-heap ordered by shell-layer pair, discarding
+candidates whose degree bound falls below ``c(u) + 1`` (Theorem 4.15)
+with a cascading shrink (Algorithm 5).
+
+``followers_naive`` is the brute-force oracle (two full decompositions);
+the test suite asserts both agree on randomized graphs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Collection, Mapping
+from dataclasses import dataclass, field
+
+from repro.anchors.state import AnchoredState
+from repro.core.decomposition import CoreDecomposition, _sort_key, core_decomposition
+from repro.core.tree import NodeId
+from repro.graphs.graph import Graph, Vertex
+
+# Exploration status tags. UNEXPLORED is represented by absence.
+_IN_HEAP = 1
+_SURVIVED = 2
+_DISCARDED = 3
+
+
+@dataclass
+class FollowerCounters:
+    """Instrumentation matching the paper's Figure 13 measurements."""
+
+    explored_nodes: int = 0  # tree nodes searched from scratch
+    reused_nodes: int = 0  # tree nodes answered from the cache
+    visited_vertices: int = 0  # heap pops across all explorations
+    pruned_candidates: int = 0  # candidates skipped by the upper bound
+    evaluated_candidates: int = 0  # candidates whose followers were computed
+
+    def merge(self, other: "FollowerCounters") -> None:
+        self.explored_nodes += other.explored_nodes
+        self.reused_nodes += other.reused_nodes
+        self.visited_vertices += other.visited_vertices
+        self.pruned_candidates += other.pruned_candidates
+        self.evaluated_candidates += other.evaluated_candidates
+
+
+@dataclass
+class FollowerReport:
+    """Per-tree-node follower counts for one candidate anchor.
+
+    ``counts[id]`` is ``|F[x][id]|``; ``members[id]`` holds the actual
+    follower set when the node was explored this call (reused nodes only
+    have their cached count — the paper's cache stores counts, not sets).
+    """
+
+    anchor: Vertex
+    counts: dict[NodeId, int] = field(default_factory=dict)
+    members: dict[NodeId, set[Vertex]] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        """``|F(x)| = g({x})`` — the coreness gain of anchoring ``x``."""
+        return sum(self.counts.values())
+
+    def all_members(self) -> set[Vertex]:
+        """Union of explored follower sets (valid when nothing was reused)."""
+        result: set[Vertex] = set()
+        for group in self.members.values():
+            result |= group
+        return result
+
+
+def find_followers(
+    state: AnchoredState,
+    x: Vertex,
+    reusable_counts: Mapping[NodeId, int] | None = None,
+    counters: FollowerCounters | None = None,
+    only_coreness: int | None = None,
+) -> FollowerReport:
+    """Compute ``F[x][id]`` for every node ``id`` in ``sn(x)`` (Algorithm 4).
+
+    Args:
+        state: current anchored state (``x`` must not already be anchored).
+        x: the candidate anchor.
+        reusable_counts: validated cache entries ``{node id: |F[x][id]|}``
+            from the previous greedy iteration; those nodes are not
+            re-explored (Section 4.3 / "Reusing Followers").
+        counters: optional instrumentation accumulator.
+        only_coreness: when set, restrict the search to tree nodes with
+            exactly this coreness (per-node explorations are independent,
+            so skipping nodes is sound). OLAK uses this to search only
+            the (k-1)-shell.
+
+    Returns:
+        A :class:`FollowerReport` whose total is the coreness gain of
+        anchoring ``x`` on top of the current anchors (restricted to the
+        selected shell when ``only_coreness`` is given).
+    """
+    if x in state.anchors:
+        raise ValueError(f"candidate {x!r} is already anchored")
+    report = FollowerReport(anchor=x)
+    own_node = state.node_id(x)
+    for nid in sorted(state.sn(x), key=_sort_key):
+        if only_coreness is not None and state.tree.nodes[nid].k != only_coreness:
+            continue
+        if reusable_counts is not None and nid in reusable_counts:
+            report.counts[nid] = reusable_counts[nid]
+            if counters is not None:
+                counters.reused_nodes += 1
+            continue
+        survivors = _explore_node(state, x, nid, nid == own_node, counters)
+        report.counts[nid] = len(survivors)
+        report.members[nid] = survivors
+        if counters is not None:
+            counters.explored_nodes += 1
+    if counters is not None:
+        counters.evaluated_candidates += 1
+    return report
+
+
+def _explore_node(
+    state: AnchoredState,
+    x: Vertex,
+    nid: NodeId,
+    is_own_node: bool,
+    counters: FollowerCounters | None,
+) -> set[Vertex]:
+    """Survivors of the candidate exploration within one tree node."""
+    graph = state.graph
+    anchors = state.anchors
+    pairs = state.decomposition.shell_layer
+    coreness = state.decomposition.coreness
+    same_shell = state.same_shell
+    fixed_support = state.fixed_support
+    px = pairs[x]
+    adj_x = graph.neighbors(x)
+
+    if is_own_node:
+        seeds = [
+            v
+            for v in state.tca(x).get(nid, ())
+            if v not in anchors and pairs[v][0] == px[0] and pairs[v][1] > px[1]
+        ]
+    else:
+        seeds = [v for v in state.tca(x).get(nid, ()) if v not in anchors]
+
+    status: dict[Vertex, int] = {}
+    dplus: dict[Vertex, int] = {}
+    heap: list[tuple[tuple[int, int], object, Vertex]] = []
+    for v in seeds:
+        status[v] = _IN_HEAP
+        heapq.heappush(heap, (pairs[v], _sort_key(v), v))
+
+    while heap:
+        _, _, u = heapq.heappop(heap)
+        if status.get(u) != _IN_HEAP:
+            continue
+        if counters is not None:
+            counters.visited_vertices += 1
+        # d+(u) of Theorem 4.15: anchored + deeper-shell neighbors are
+        # precomputed (they always count); x counts if adjacent and not
+        # already part of the fixed support; same-shell neighbors count
+        # per their exploration status — higher layers unless discarded,
+        # lower/equal layers only while surviving or queued.
+        cu = coreness[u]
+        iu = pairs[u][1]
+        bound = fixed_support[u]
+        if u in adj_x and coreness[x] <= cu:
+            bound += 1
+        for v in same_shell[u]:
+            if v == x:
+                continue  # already counted via the adjacency check
+            sv = status.get(v)
+            if pairs[v][1] > iu:
+                if sv != _DISCARDED:
+                    bound += 1
+            elif sv == _IN_HEAP or sv == _SURVIVED:
+                bound += 1
+        if bound >= cu + 1:
+            status[u] = _SURVIVED
+            dplus[u] = bound
+            for w in same_shell[u]:
+                if w == x or w in status:
+                    continue
+                if pairs[w][1] > iu:
+                    status[w] = _IN_HEAP
+                    heapq.heappush(heap, (pairs[w], _sort_key(w), w))
+        else:
+            status[u] = _DISCARDED
+            _shrink(same_shell, coreness, status, dplus, u)
+
+    return {u for u, s in status.items() if s == _SURVIVED}
+
+
+def _shrink(
+    same_shell: dict[Vertex, list[Vertex]],
+    coreness: dict[Vertex, int],
+    status: dict[Vertex, int],
+    dplus: dict[Vertex, int],
+    discarded: Vertex,
+) -> None:
+    """Algorithm 5: cascade the discard of a candidate to its supporters.
+
+    Only same-shell neighbors can be surviving candidates (exploration
+    never leaves the tree node), so the cascade walks those lists only.
+    """
+    stack = [discarded]
+    while stack:
+        w = stack.pop()
+        for v in same_shell[w]:
+            if status.get(v) == _SURVIVED:
+                dplus[v] -= 1
+                if dplus[v] < coreness[v] + 1:
+                    status[v] = _DISCARDED
+                    stack.append(v)
+
+
+def followers_naive(
+    graph: Graph,
+    x: Vertex,
+    anchors: Collection[Vertex] = (),
+    base: CoreDecomposition | None = None,
+) -> set[Vertex]:
+    """Brute-force follower oracle: diff two full core decompositions.
+
+    Returns every non-anchor vertex (other than ``x``) whose coreness
+    strictly increases when ``x`` is anchored on top of ``anchors``.
+    """
+    anchor_set = frozenset(anchors)
+    if base is None:
+        base = core_decomposition(graph, anchor_set)
+    after = core_decomposition(graph, anchor_set | {x})
+    return {
+        u
+        for u in graph.vertices()
+        if u != x and u not in anchor_set and after.coreness[u] > base.coreness[u]
+    }

@@ -1,0 +1,331 @@
+"""The GAC greedy algorithm (Algorithm 6) and its ablated variants.
+
+``greedy_anchored_coreness`` runs ``budget`` greedy iterations; each
+iteration evaluates candidate anchors and picks the one with the most
+followers. Three accelerations can be toggled independently, giving the
+paper's evaluated variants (Table 5):
+
+=============  ============================  =========================
+Name           Call                          Paper variant
+=============  ============================  =========================
+GAC            ``gac(g, b)``                 UB pruning + reuse + Alg 4
+GAC-U          ``gac_u(g, b)``               reuse + Alg 4
+GAC-U-R        ``gac_u_r(g, b)``             Alg 4 only
+Baseline       ``baseline(g, b)``            full core decomposition
+                                             per candidate
+=============  ============================  =========================
+
+Tie-breaking between equally good anchors is a first-class parameter
+(Table 7 studies ``"ub"`` / ``"degree"`` / ``"random"``); ``"id"``
+(smallest vertex id) gives fully deterministic runs for testing.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Literal
+
+from repro.anchors.bounds import UpperBounds, compute_upper_bounds, refined_total
+from repro.anchors.followers import (
+    FollowerCounters,
+    find_followers,
+    followers_naive,
+)
+from repro.anchors.incremental import apply_anchor
+from repro.anchors.reuse import FollowerCache
+from repro.anchors.state import AnchoredState
+from repro.core.decomposition import _sort_key
+from repro.errors import BudgetError
+from repro.graphs.graph import Graph, Vertex
+
+TieBreak = Literal["ub", "degree", "random", "id"]
+FollowerMethod = Literal["tree", "naive"]
+
+
+@dataclass
+class IterationTrace:
+    """Per-greedy-iteration record (drives Figures 12 and 13)."""
+
+    anchor: Vertex
+    gain: int
+    elapsed_seconds: float
+    counters: FollowerCounters
+    candidate_count: int
+
+
+@dataclass
+class GreedyResult:
+    """Outcome of a greedy anchored-coreness run.
+
+    Attributes:
+        anchors: chosen anchors in selection order.
+        gains: marginal coreness gain of each anchor at selection time.
+        followers: follower set of each anchor at its selection time.
+        traces: per-iteration instrumentation.
+        truncated: True when a time limit stopped the run early.
+    """
+
+    anchors: list[Vertex] = field(default_factory=list)
+    gains: list[int] = field(default_factory=list)
+    followers: dict[Vertex, frozenset[Vertex]] = field(default_factory=dict)
+    traces: list[IterationTrace] = field(default_factory=list)
+    truncated: bool = False
+
+    @property
+    def total_gain(self) -> int:
+        """Total coreness gain ``g(A, G)`` accumulated by the greedy run."""
+        return sum(self.gains)
+
+    @property
+    def anchor_set(self) -> frozenset[Vertex]:
+        return frozenset(self.anchors)
+
+    def total_counters(self) -> FollowerCounters:
+        """Instrumentation summed over all iterations."""
+        total = FollowerCounters()
+        for trace in self.traces:
+            total.merge(trace.counters)
+        return total
+
+
+class _SmallestWins:
+    """Tie value wrapper: comparing ``a > b`` is true when a's key is smaller."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key) -> None:
+        self.key = key
+
+    def __gt__(self, other: "_SmallestWins") -> bool:
+        return self.key < other.key
+
+
+def greedy_anchored_coreness(
+    graph: Graph,
+    budget: int,
+    *,
+    use_upper_bounds: bool = True,
+    reuse: bool = True,
+    follower_method: FollowerMethod = "tree",
+    tie_break: TieBreak = "ub",
+    seed: int | None = None,
+    initial_anchors: Iterable[Vertex] = (),
+    time_limit: float | None = None,
+) -> GreedyResult:
+    """Run the greedy heuristic for the anchored coreness problem.
+
+    Args:
+        graph: the social network (never mutated).
+        budget: number of anchors ``b`` to select.
+        use_upper_bounds: prune candidates whose bound cannot beat the
+            best gain found so far (Section 4.5).
+        reuse: carry per-tree-node follower counts across iterations
+            (Section 4.3); ignored when ``follower_method == "naive"``.
+        follower_method: ``"tree"`` for Algorithm 4, ``"naive"`` for the
+            full-decomposition Baseline.
+        tie_break: how equal-gain candidates are ranked (Table 7).
+        seed: RNG seed, only used by ``tie_break="random"``.
+        initial_anchors: pre-existing anchors (excluded from candidates
+            and from gain counting).
+        time_limit: optional wall-clock cap in seconds; the run stops
+            early with ``truncated=True`` once exceeded.
+
+    Raises:
+        BudgetError: if ``budget`` is negative or exceeds the number of
+            non-anchor vertices.
+    """
+    initial = frozenset(initial_anchors)
+    if budget < 0:
+        raise BudgetError(f"budget must be non-negative, got {budget}")
+    if budget > graph.num_vertices - len(initial):
+        raise BudgetError(
+            f"budget {budget} exceeds the {graph.num_vertices - len(initial)} "
+            "anchorable vertices"
+        )
+    if follower_method == "naive":
+        reuse = False
+        use_upper_bounds = False
+    rng = random.Random(seed)
+    start = time.perf_counter()
+
+    state = AnchoredState.build(graph, initial)
+    # Baseline corenesses: marginal gains are |F(x)| minus the gain x
+    # itself accumulated as an earlier anchor's follower — that term
+    # leaves the objective when x is anchored (Definition 2.4 excludes
+    # anchors), so counting raw |F(x)| would overstate g(A, G).
+    base_coreness = dict(state.decomposition.coreness)
+    cache = FollowerCache()
+    result = GreedyResult()
+
+    for _ in range(budget):
+        if time_limit is not None and time.perf_counter() - start > time_limit:
+            result.truncated = True
+            break
+        iter_start = time.perf_counter()
+        counters = FollowerCounters()
+        best, best_gain = _select_best(
+            state,
+            cache,
+            counters,
+            base_coreness=base_coreness,
+            use_upper_bounds=use_upper_bounds,
+            reuse=reuse,
+            follower_method=follower_method,
+            tie_break=tie_break,
+            rng=rng,
+        )
+        if best is None:
+            break
+        result.anchors.append(best)
+        result.gains.append(best_gain)
+        result.followers[best] = _follower_set(state, best, follower_method)
+        result.traces.append(
+            IterationTrace(
+                anchor=best,
+                gain=best_gain,
+                elapsed_seconds=time.perf_counter() - iter_start,
+                counters=counters,
+                candidate_count=graph.num_vertices - len(state.anchors),
+            )
+        )
+        # Anchor in place: the paper's local subtree rebuild (Algorithm 3
+        # lines 7-10) re-decomposes only the anchored vertex's component.
+        removals = apply_anchor(state, best, compute_removals=reuse)
+        if reuse:
+            cache.apply_removals(removals)
+            cache.forget(best)
+        else:
+            cache.clear()
+    return result
+
+
+def _select_best(
+    state: AnchoredState,
+    cache: FollowerCache,
+    counters: FollowerCounters,
+    *,
+    base_coreness: dict[Vertex, int],
+    use_upper_bounds: bool,
+    reuse: bool,
+    follower_method: FollowerMethod,
+    tie_break: TieBreak,
+    rng: random.Random,
+) -> tuple[Vertex | None, int]:
+    """One greedy iteration: the candidate with the best marginal gain.
+
+    The marginal gain of anchoring ``x`` is ``|F(x)|`` minus the coreness
+    gain ``x`` already contributed as a follower of earlier anchors
+    (that contribution leaves ``g(A, G)`` once ``x`` joins ``A``). The
+    upper bound dominates ``|F(x)|`` and hence the marginal gain, so
+    pruning remains sound.
+    """
+    candidates = state.candidates()
+    if not candidates:
+        return None, 0
+
+    bounds: UpperBounds | None = None
+    refined: dict[Vertex, int] = {}
+    if use_upper_bounds:
+        bounds = compute_upper_bounds(state)
+        for u in candidates:
+            cached = cache.valid_counts(u, state) if reuse else {}
+            refined[u] = refined_total(u, bounds, cached)
+        order = sorted(candidates, key=lambda u: (-refined[u], _sort_key(u)))
+    else:
+        order = sorted(candidates, key=_sort_key)
+
+    tie_of = _tie_function(tie_break, state, refined, rng)
+    node_k = {nid: node.k for nid, node in state.tree.nodes.items()}
+    best: Vertex | None = None
+    best_gain = -1
+    best_tie = None
+    for u in order:
+        # Prune strictly below the best gain (the paper prunes <=; the
+        # strict form also evaluates potential ties so tie-breaking sees
+        # the same candidate pool as the unpruned variants).
+        if use_upper_bounds and refined[u] < best_gain:
+            counters.pruned_candidates += 1
+            continue
+        if follower_method == "naive":
+            follower_count = len(
+                followers_naive(
+                    state.graph, u, anchors=state.anchors, base=state.decomposition
+                )
+            )
+            counters.evaluated_candidates += 1
+        else:
+            cached = cache.valid_counts(u, state) if reuse else None
+            report = find_followers(state, u, reusable_counts=cached, counters=counters)
+            if reuse:
+                cache.store(report, node_k)
+            follower_count = report.total
+        own_gain = state.decomposition.coreness[u] - base_coreness[u]
+        gain = follower_count - own_gain
+        if gain > best_gain:
+            best, best_gain, best_tie = u, gain, tie_of(u)
+        elif gain == best_gain and best is not None:
+            tie = tie_of(u)
+            if tie > best_tie:
+                best, best_tie = u, tie
+    return best, best_gain
+
+
+def _tie_function(
+    tie_break: TieBreak,
+    state: AnchoredState,
+    refined: dict[Vertex, int],
+    rng: random.Random,
+) -> Callable[[Vertex], object]:
+    if tie_break == "ub":
+        # Fall back to degree when bounds were not computed (GAC-U/-U-R).
+        if refined:
+            return lambda u: refined[u]
+        return lambda u: state.graph.degree(u)
+    if tie_break == "degree":
+        return lambda u: state.graph.degree(u)
+    if tie_break == "random":
+        return lambda u: rng.random()
+    if tie_break == "id":
+        return lambda u: _SmallestWins(_sort_key(u))
+    raise ValueError(f"unknown tie_break {tie_break!r}")
+
+
+def _follower_set(
+    state: AnchoredState, anchor: Vertex, follower_method: FollowerMethod
+) -> frozenset[Vertex]:
+    """The exact follower set of the chosen anchor (fresh, no reuse)."""
+    if follower_method == "naive":
+        return frozenset(
+            followers_naive(
+                state.graph, anchor, anchors=state.anchors, base=state.decomposition
+            )
+        )
+    return frozenset(find_followers(state, anchor).all_members())
+
+
+def gac(graph: Graph, budget: int, **kwargs) -> GreedyResult:
+    """The full GAC algorithm (upper-bound pruning + result reuse)."""
+    return greedy_anchored_coreness(
+        graph, budget, use_upper_bounds=True, reuse=True, **kwargs
+    )
+
+
+def gac_u(graph: Graph, budget: int, **kwargs) -> GreedyResult:
+    """GAC without upper-bound pruning (paper's GAC-U)."""
+    return greedy_anchored_coreness(
+        graph, budget, use_upper_bounds=False, reuse=True, **kwargs
+    )
+
+
+def gac_u_r(graph: Graph, budget: int, **kwargs) -> GreedyResult:
+    """GAC without pruning or result reuse (paper's GAC-U-R)."""
+    return greedy_anchored_coreness(
+        graph, budget, use_upper_bounds=False, reuse=False, **kwargs
+    )
+
+
+def baseline(graph: Graph, budget: int, **kwargs) -> GreedyResult:
+    """The paper's Baseline: coreness gain via full core decomposition."""
+    return greedy_anchored_coreness(graph, budget, follower_method="naive", **kwargs)

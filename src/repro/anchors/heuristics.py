@@ -1,0 +1,75 @@
+"""The simple anchor-selection heuristics compared in Figure 6 (Table 5).
+
+Each heuristic statically scores every vertex and anchors the top ``b``:
+
+* ``Rand`` — uniform random vertices;
+* ``Deg``  — highest degree;
+* ``Deg-C`` — highest ``deg(u) - c(u)`` (degree "slack" over coreness);
+* ``SD``   — highest *successive degree*: the number of neighbors with a
+  larger shell-layer pair, i.e. the size of the first hop of every
+  upstair path out of ``u`` (Theorem 4.14 motivates it).
+
+They return the anchor list; evaluate with
+:func:`repro.core.coreness_gain`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.decomposition import _sort_key, core_decomposition, peel_decomposition
+from repro.core.layers import all_successive_degrees
+from repro.errors import BudgetError
+from repro.graphs.graph import Graph, Vertex
+
+
+def _check_budget(graph: Graph, budget: int) -> None:
+    if budget < 0 or budget > graph.num_vertices:
+        raise BudgetError(
+            f"budget {budget} is invalid for a graph with {graph.num_vertices} vertices"
+        )
+
+
+def _top_by_score(graph: Graph, scores: dict[Vertex, float], budget: int) -> list[Vertex]:
+    """Top-``budget`` vertices by score, ties broken by smallest id."""
+    ranked = sorted(graph.vertices(), key=lambda u: (-scores[u], _sort_key(u)))
+    return ranked[:budget]
+
+
+def random_anchors(graph: Graph, budget: int, seed: int | None = None) -> list[Vertex]:
+    """``Rand``: a uniform random anchor set."""
+    _check_budget(graph, budget)
+    rng = random.Random(seed)
+    return rng.sample(sorted(graph.vertices(), key=_sort_key), budget)
+
+
+def degree_anchors(graph: Graph, budget: int) -> list[Vertex]:
+    """``Deg``: the ``budget`` highest-degree vertices."""
+    _check_budget(graph, budget)
+    return _top_by_score(graph, {u: graph.degree(u) for u in graph.vertices()}, budget)
+
+
+def degree_minus_coreness_anchors(graph: Graph, budget: int) -> list[Vertex]:
+    """``Deg-C``: the highest ``deg(u, G) - c(u)`` vertices."""
+    _check_budget(graph, budget)
+    decomposition = core_decomposition(graph)
+    scores = {
+        u: graph.degree(u) - decomposition.coreness[u] for u in graph.vertices()
+    }
+    return _top_by_score(graph, scores, budget)
+
+
+def successive_degree_anchors(graph: Graph, budget: int) -> list[Vertex]:
+    """``SD``: the highest successive-degree vertices."""
+    _check_budget(graph, budget)
+    decomposition = peel_decomposition(graph)
+    scores = all_successive_degrees(graph, decomposition)
+    return _top_by_score(graph, scores, budget)
+
+
+HEURISTICS = {
+    "Rand": random_anchors,
+    "Deg": degree_anchors,
+    "Deg-C": degree_minus_coreness_anchors,
+    "SD": successive_degree_anchors,
+}

@@ -1,0 +1,130 @@
+"""User-departure cascades — the unraveling model behind the paper.
+
+The introduction motivates anchoring with Friendster's collapse: a
+user's departure lowers their friends' engagement benefit, triggering
+further departures. In the k-core engagement model (Bhawalkar &
+Kleinberg), a user stays only while at least ``k`` friends remain; the
+natural equilibrium after some initial leavers is the k-core of the
+residual graph. This module simulates that contagion, with *anchored*
+users who never leave — quantifying how much collapse an anchor set
+prevents, the operational meaning of the paper's reinforcement.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable
+from dataclasses import dataclass, field
+
+from repro.graphs.graph import Graph, Vertex
+
+
+@dataclass
+class CascadeResult:
+    """Outcome of one departure cascade.
+
+    Attributes:
+        departed: everyone who left (seeds plus contagion victims).
+        survivors: vertices still engaged at equilibrium.
+        rounds: contagion waves after the seed departures; each round
+            removes every member currently below the threshold.
+        departures_per_round: volume of each wave (excluding seeds).
+    """
+
+    departed: set[Vertex]
+    survivors: set[Vertex]
+    rounds: int
+    departures_per_round: list[int] = field(default_factory=list)
+
+    @property
+    def contagion_size(self) -> int:
+        """Departures beyond the seeds — the damage the cascade did."""
+        return sum(self.departures_per_round)
+
+
+def departure_cascade(
+    graph: Graph,
+    k: int,
+    seeds: Iterable[Vertex],
+    anchors: Collection[Vertex] = (),
+) -> CascadeResult:
+    """Simulate the k-threshold departure contagion.
+
+    The ``seeds`` leave unconditionally (unless anchored); afterwards,
+    any engaged non-anchor with fewer than ``k`` engaged neighbors
+    leaves, in synchronous waves, until the residual graph is the
+    anchored k-core of ``G - seeds``.
+
+    Args:
+        graph: the social network.
+        k: engagement threshold (a user needs >= k engaged friends).
+        seeds: the initial leavers.
+        anchors: users who never leave, regardless of support.
+    """
+    anchor_set = set(anchors)
+    seed_set = {u for u in seeds if u in graph and u not in anchor_set}
+    engaged = set(graph.vertices()) - seed_set
+    degree = {u: sum(1 for v in graph.neighbors(u) if v in engaged) for u in engaged}
+
+    rounds = 0
+    departures_per_round: list[int] = []
+    wave = [
+        u for u in engaged if u not in anchor_set and degree[u] < k
+    ]
+    while wave:
+        rounds += 1
+        departures_per_round.append(len(wave))
+        next_wave: set[Vertex] = set()
+        for u in wave:
+            engaged.discard(u)
+        for u in wave:
+            for v in graph.neighbors(u):
+                if v in engaged:
+                    degree[v] -= 1
+                    if v not in anchor_set and degree[v] == k - 1:
+                        next_wave.add(v)
+        wave = sorted(next_wave, key=repr)
+    departed = set(graph.vertices()) - engaged
+    return CascadeResult(
+        departed=departed,
+        survivors=engaged,
+        rounds=rounds,
+        departures_per_round=departures_per_round,
+    )
+
+
+def collapse_resistance(
+    graph: Graph,
+    k: int,
+    seeds: Iterable[Vertex],
+    anchors: Collection[Vertex] = (),
+) -> float:
+    """Fraction of non-seed users who survive the cascade.
+
+    1.0 means the network fully absorbed the departures; 0.0 means a
+    total collapse (the Friendster scenario).
+    """
+    seeds = list(seeds)
+    result = departure_cascade(graph, k, seeds, anchors)
+    at_risk = graph.num_vertices - len(set(seeds))
+    if at_risk <= 0:
+        return 1.0
+    return len(result.survivors) / at_risk
+
+
+def protection_value(
+    graph: Graph,
+    k: int,
+    seeds: Iterable[Vertex],
+    anchors: Collection[Vertex],
+) -> int:
+    """How many users an anchor set saves from the cascade.
+
+    The difference in survivor counts with and without the anchors
+    (anchored users themselves excluded from the credit).
+    """
+    seeds = list(seeds)
+    unprotected = departure_cascade(graph, k, seeds)
+    protected = departure_cascade(graph, k, seeds, anchors)
+    anchor_set = set(anchors)
+    saved = (protected.survivors - anchor_set) - (unprotected.survivors - anchor_set)
+    return len(saved)

@@ -1,0 +1,154 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``stats``      — Table-4-style statistics for a dataset or edge list;
+* ``decompose``  — coreness (and optional shell-layer) listing;
+* ``anchor``     — run GAC / a heuristic / OLAK and print the anchors;
+* ``cascade``    — simulate a departure cascade with optional anchors;
+* ``datasets``   — list the built-in replica datasets.
+
+Graphs come from either ``--dataset <name>`` (a built-in replica) or
+``--edges <path>`` (a SNAP-style edge list).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.stats import graph_stats
+from repro.anchors.gac import gac
+from repro.anchors.heuristics import HEURISTICS
+from repro.cascade import departure_cascade
+from repro.core.decomposition import core_decomposition, coreness_gain, peel_decomposition
+from repro.datasets import registry
+from repro.graphs.graph import Graph
+from repro.graphs.io import read_edge_list
+from repro.olak.olak import olak
+
+
+def _load_graph(args: argparse.Namespace) -> Graph:
+    if args.dataset:
+        return registry.load(args.dataset)
+    if args.edges:
+        return read_edge_list(args.edges)
+    raise SystemExit("error: provide --dataset NAME or --edges PATH")
+
+
+def _add_graph_source(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", help="built-in replica dataset name")
+    parser.add_argument("--edges", help="path to a SNAP-style edge list")
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    stats = graph_stats(_load_graph(args))
+    print(f"nodes   {stats.nodes}")
+    print(f"edges   {stats.edges}")
+    print(f"d_avg   {stats.degree_avg:.2f}")
+    print(f"d_max   {stats.degree_max}")
+    print(f"k_max   {stats.k_max}")
+    return 0
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    if args.layers:
+        decomposition = peel_decomposition(graph)
+        for u in sorted(graph.vertices(), key=repr):
+            k, i = decomposition.shell_layer[u]
+            print(f"{u}\t{decomposition.coreness[u]}\t{k},{i}")
+    else:
+        decomposition = core_decomposition(graph)
+        for u in sorted(graph.vertices(), key=repr):
+            print(f"{u}\t{decomposition.coreness[u]}")
+    return 0
+
+
+def _cmd_anchor(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    if args.method == "gac":
+        result = gac(graph, args.budget)
+        anchors, gain = result.anchors, result.total_gain
+    elif args.method == "olak":
+        if args.k is None:
+            raise SystemExit("error: --k is required for olak")
+        olak_result = olak(graph, args.k, args.budget)
+        anchors, gain = olak_result.anchors, olak_result.coreness_gain
+    else:
+        fn = HEURISTICS[args.method]
+        kwargs = {"seed": args.seed} if args.method == "Rand" else {}
+        anchors = fn(graph, args.budget, **kwargs)
+        gain = coreness_gain(graph, anchors)
+    print(f"anchors       {' '.join(str(a) for a in anchors)}")
+    print(f"coreness_gain {gain}")
+    return 0
+
+
+def _cmd_cascade(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    seeds = [int(s) for s in args.seeds.split(",")] if args.seeds else []
+    anchors = [int(a) for a in args.anchors.split(",")] if args.anchors else []
+    result = departure_cascade(graph, args.k, seeds, anchors)
+    print(f"departed   {len(result.departed)}")
+    print(f"survivors  {len(result.survivors)}")
+    print(f"rounds     {result.rounds}")
+    print(f"contagion  {result.contagion_size}")
+    return 0
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    for name in registry.names():
+        ds = registry.spec(name)
+        print(f"{name:12s} {ds.display:12s} n={ds.n}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Anchored coreness toolkit (SIGMOD 2020 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="graph statistics (Table 4 row)")
+    _add_graph_source(p_stats)
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_dec = sub.add_parser("decompose", help="print per-vertex coreness")
+    _add_graph_source(p_dec)
+    p_dec.add_argument("--layers", action="store_true", help="include shell-layer pairs")
+    p_dec.set_defaults(func=_cmd_decompose)
+
+    p_anchor = sub.add_parser("anchor", help="choose an anchor set")
+    _add_graph_source(p_anchor)
+    p_anchor.add_argument(
+        "--method",
+        default="gac",
+        choices=["gac", "olak", *HEURISTICS],
+        help="anchoring algorithm (default: gac)",
+    )
+    p_anchor.add_argument("-b", "--budget", type=int, default=10)
+    p_anchor.add_argument("--k", type=int, help="core parameter (olak only)")
+    p_anchor.add_argument("--seed", type=int, default=0, help="RNG seed (Rand only)")
+    p_anchor.set_defaults(func=_cmd_anchor)
+
+    p_cascade = sub.add_parser("cascade", help="simulate a departure cascade")
+    _add_graph_source(p_cascade)
+    p_cascade.add_argument("--k", type=int, required=True, help="engagement threshold")
+    p_cascade.add_argument("--seeds", help="comma-separated leaver vertex ids")
+    p_cascade.add_argument("--anchors", help="comma-separated anchored vertex ids")
+    p_cascade.set_defaults(func=_cmd_cascade)
+
+    p_ds = sub.add_parser("datasets", help="list built-in replica datasets")
+    p_ds.set_defaults(func=_cmd_datasets)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

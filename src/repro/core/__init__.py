@@ -1,0 +1,40 @@
+"""Core decomposition, shell layers, and the core component tree."""
+
+from repro.core.decomposition import (
+    CoreDecomposition,
+    core_decomposition,
+    coreness_gain,
+    degeneracy,
+    k_core,
+    peel_decomposition,
+)
+from repro.core.layers import (
+    all_successive_degrees,
+    is_upstair_path,
+    layer_partition,
+    same_shell_above,
+    same_shell_at_or_below,
+    successive_degree,
+    upstair_reachable,
+)
+from repro.core.tree import CoreComponentTree, NodeId, TreeAdjacency, TreeNode
+
+__all__ = [
+    "CoreComponentTree",
+    "CoreDecomposition",
+    "NodeId",
+    "TreeAdjacency",
+    "TreeNode",
+    "all_successive_degrees",
+    "core_decomposition",
+    "coreness_gain",
+    "degeneracy",
+    "is_upstair_path",
+    "k_core",
+    "layer_partition",
+    "peel_decomposition",
+    "same_shell_above",
+    "same_shell_at_or_below",
+    "successive_degree",
+    "upstair_reachable",
+]

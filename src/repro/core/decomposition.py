@@ -1,0 +1,252 @@
+"""Core decomposition with anchor support (Algorithm 1 of the paper).
+
+Two implementations are provided:
+
+* :func:`core_decomposition` — the O(m + n) Batagelj–Zaveršnik bucket
+  algorithm, used when only coreness values are needed.
+* :func:`peel_decomposition` — a faithful simulation of the paper's
+  Algorithm 1 (batched min-degree peeling), which additionally yields the
+  *shell-layer pair* ``P(u) = (k, i)`` of every vertex (Section 4.4) and
+  the deletion (degeneracy) order. This costs the same asymptotically but
+  with a larger constant, so the bucket algorithm is preferred when
+  layers are not needed.
+
+Anchored vertices are treated as having degree ``+inf``: they are never
+deleted, so they remain in the k-core for every k and permanently support
+their neighbors. Their *effective coreness* — used to place them in the
+core component tree — is the maximum coreness among their neighbors
+(see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable
+from dataclasses import dataclass, field
+
+from repro.graphs.graph import Graph, Vertex
+
+ShellLayer = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class CoreDecomposition:
+    """The result of decomposing a graph, possibly with anchors.
+
+    Attributes:
+        coreness: coreness of every vertex; for anchors this is the
+            *effective* coreness (max over neighbors, 0 if none).
+        shell_layer: ``P(u) = (k, i)`` — vertex ``u`` is deleted in the
+            ``i``-th batch of the ``k``-shell peel (1-based ``i``).
+            Anchors get layer 0 in their effective shell, which sorts
+            before every genuine member of that shell. Empty when
+            produced by :func:`core_decomposition`.
+        order: vertex deletion order (anchors, never deleted, appear at
+            the end). Empty when produced by :func:`core_decomposition`.
+        anchors: the anchor set the decomposition was computed with.
+    """
+
+    coreness: dict[Vertex, int]
+    shell_layer: dict[Vertex, ShellLayer] = field(default_factory=dict)
+    order: list[Vertex] = field(default_factory=list)
+    anchors: frozenset[Vertex] = frozenset()
+
+    @property
+    def max_coreness(self) -> int:
+        """``k_max``: the largest coreness over non-anchor vertices (0 if none)."""
+        values = [c for u, c in self.coreness.items() if u not in self.anchors]
+        return max(values, default=0)
+
+    def k_core_members(self, k: int) -> set[Vertex]:
+        """Vertices of the k-core: coreness >= k plus every anchor."""
+        return {u for u, c in self.coreness.items() if c >= k or u in self.anchors}
+
+    def shell(self, k: int) -> set[Vertex]:
+        """The k-shell: non-anchor vertices with coreness exactly ``k``."""
+        return {u for u, c in self.coreness.items() if c == k and u not in self.anchors}
+
+    def layer_of(self, u: Vertex) -> int:
+        """The layer index ``i`` of ``P(u) = (k, i)``."""
+        return self.shell_layer[u][1]
+
+
+def _effective_anchor_coreness(
+    graph: Graph, anchors: Collection[Vertex], coreness: dict[Vertex, int]
+) -> None:
+    """Assign each anchor the max coreness among its *non-anchor* neighbors.
+
+    Restricting to non-anchor neighbors makes the value order-independent
+    (anchor-anchor chains would otherwise depend on assignment order) and
+    locally computable (an anchor's placement never depends on another
+    anchor's placement), which the in-place subtree rebuild relies on.
+    """
+    anchor_set = anchors if isinstance(anchors, (set, frozenset)) else set(anchors)
+    for a in anchor_set:
+        best = 0
+        for v in graph.neighbors(a):
+            if v in anchor_set:
+                continue
+            c = coreness.get(v, 0)
+            if c > best:
+                best = c
+        coreness[a] = best
+
+
+def core_decomposition(
+    graph: Graph, anchors: Iterable[Vertex] = ()
+) -> CoreDecomposition:
+    """Coreness of every vertex via the Batagelj–Zaveršnik bucket algorithm.
+
+    Anchors are never deleted (degree treated as infinite). Runs in
+    O(m + n). The returned decomposition has empty ``shell_layer`` and
+    ``order``; use :func:`peel_decomposition` when those are needed.
+    """
+    anchor_set = frozenset(anchors)
+    n = graph.num_vertices
+    coreness: dict[Vertex, int] = {}
+    if n == 0:
+        return CoreDecomposition(coreness=coreness, anchors=anchor_set)
+
+    degree: dict[Vertex, int] = {}
+    max_deg = 0
+    for u in graph.vertices():
+        d = graph.degree(u)
+        degree[u] = d
+        if u not in anchor_set and d > max_deg:
+            max_deg = d
+
+    # Bucket b holds unprocessed non-anchor vertices of current degree b.
+    buckets: list[set[Vertex]] = [set() for _ in range(max_deg + 1)]
+    for u in graph.vertices():
+        if u not in anchor_set:
+            buckets[min(degree[u], max_deg)].add(u)
+
+    processed: set[Vertex] = set()
+    current_core = 0
+    remaining = n - len(anchor_set)
+    d = 0
+    while remaining > 0:
+        while d <= max_deg and not buckets[d]:
+            d += 1
+        if d > max_deg:
+            break
+        u = buckets[d].pop()
+        processed.add(u)
+        remaining -= 1
+        current_core = max(current_core, d)
+        coreness[u] = current_core
+        for v in graph.neighbors(u):
+            if v in anchor_set or v in processed:
+                continue
+            dv = degree[v]
+            if dv > d:
+                buckets[min(dv, max_deg)].discard(v)
+                degree[v] = dv - 1
+                buckets[min(dv - 1, max_deg)].add(v)
+        # Degrees only drop, so the minimum can fall by at most 1 per step.
+        if d > 0:
+            d -= 1
+
+    _effective_anchor_coreness(graph, anchor_set, coreness)
+    return CoreDecomposition(coreness=coreness, anchors=anchor_set)
+
+
+def peel_decomposition(
+    graph: Graph, anchors: Iterable[Vertex] = ()
+) -> CoreDecomposition:
+    """Algorithm 1 peeling with shell layers and deletion order.
+
+    Simulates the paper's CoreDecomp: for k = 1, 2, ... repeatedly delete
+    *batches* of vertices with degree < k. Each vertex's shell-layer pair
+    ``P(u) = (c(u), i)`` records the 1-based batch ``i`` within its shell
+    in which it was deleted — the ordering that drives upstair paths
+    (Definition 4.12) and the follower search (Algorithm 4).
+    """
+    anchor_set = frozenset(anchors)
+    coreness: dict[Vertex, int] = {}
+    shell_layer: dict[Vertex, ShellLayer] = {}
+    order: list[Vertex] = []
+
+    degree: dict[Vertex, int] = {
+        u: graph.degree(u) for u in graph.vertices() if u not in anchor_set
+    }
+    # Vertices bucketed by *current* degree; round k consumes bucket k-1
+    # (survivors of round k-1 all have degree >= k-1).
+    buckets: dict[int, set[Vertex]] = {}
+    for u, d in degree.items():
+        buckets.setdefault(d, set()).add(u)
+
+    remaining = len(degree)
+    alive = set(degree)
+    k = 1
+    while remaining > 0:
+        frontier = sorted(buckets.pop(k - 1, ()), key=_sort_key)
+        layer = 0
+        while frontier:
+            layer += 1
+            for u in frontier:
+                coreness[u] = k - 1
+                shell_layer[u] = (k - 1, layer)
+                order.append(u)
+                alive.discard(u)
+            remaining -= len(frontier)
+            next_frontier: list[Vertex] = []
+            for u in frontier:
+                for v in graph.neighbors(u):
+                    if v not in alive:
+                        continue
+                    dv = degree[v]
+                    buckets[dv].discard(v)
+                    degree[v] = dv - 1
+                    buckets.setdefault(dv - 1, set()).add(v)
+                    if dv - 1 == k - 1:
+                        next_frontier.append(v)
+            # A vertex may be decremented past the threshold by several
+            # frontier neighbors; deduplicate while keeping determinism.
+            frontier = sorted(set(next_frontier), key=_sort_key)
+        k += 1
+
+    _effective_anchor_coreness(graph, anchor_set, coreness)
+    for a in sorted(anchor_set, key=_sort_key):
+        shell_layer[a] = (coreness[a], 0)
+        order.append(a)
+    return CoreDecomposition(
+        coreness=coreness, shell_layer=shell_layer, order=order, anchors=anchor_set
+    )
+
+
+def _sort_key(u: Vertex):
+    """Deterministic vertex ordering key (ints sort numerically)."""
+    return (str(type(u)), u) if not isinstance(u, int) else ("", u)
+
+
+def k_core(graph: Graph, k: int, anchors: Iterable[Vertex] = ()) -> Graph:
+    """The k-core of ``graph`` as an induced subgraph (anchors always kept)."""
+    decomposition = core_decomposition(graph, anchors)
+    return graph.subgraph(decomposition.k_core_members(k))
+
+
+def degeneracy(graph: Graph) -> int:
+    """The degeneracy of the graph (= maximum coreness, ``k_max``)."""
+    return core_decomposition(graph).max_coreness
+
+
+def coreness_gain(
+    graph: Graph,
+    anchors: Collection[Vertex],
+    base: CoreDecomposition | None = None,
+) -> int:
+    """The coreness gain ``g(A, G)`` of Definition 2.4.
+
+    Sum over non-anchor vertices of the coreness increase caused by
+    anchoring ``anchors``. ``base`` may carry a precomputed decomposition
+    of the unanchored graph to avoid recomputing it.
+    """
+    if base is None:
+        base = core_decomposition(graph)
+    anchored = core_decomposition(graph, anchors)
+    anchor_set = set(anchors)
+    return sum(
+        anchored.coreness[u] - base.coreness[u]
+        for u in graph.vertices()
+        if u not in anchor_set
+    )

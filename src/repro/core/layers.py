@@ -1,0 +1,128 @@
+"""Shell-layer machinery (Section 4.4).
+
+The peel decomposition assigns every vertex a *shell-layer pair*
+``P(u) = (k, i)``: vertex ``u`` is deleted in the ``i``-th batch of the
+``k``-shell. Pairs compare lexicographically — exactly the partial order
+``P(v) < P(u)`` of the paper — and drive:
+
+* *upstair paths* (Definition 4.12): the only routes along which an
+  anchor's influence can travel (Theorem 4.14);
+* the *successive degree* heuristic ``SD`` (Table 5);
+* the candidate-follower sets ``CF(x)`` that Algorithm 4 explores.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.decomposition import CoreDecomposition
+from repro.graphs.graph import Graph, Vertex
+
+
+def same_shell_above(graph: Graph, decomposition: CoreDecomposition, u: Vertex) -> set[Vertex]:
+    """``tca_=^>(u)``: neighbors in u's shell at a strictly higher layer."""
+    pairs = decomposition.shell_layer
+    ku, iu = pairs[u]
+    return {
+        v
+        for v in graph.neighbors(u)
+        if pairs[v][0] == ku and pairs[v][1] > iu
+    }
+
+
+def same_shell_at_or_below(
+    graph: Graph, decomposition: CoreDecomposition, u: Vertex
+) -> set[Vertex]:
+    """``tca_=^<=(u)``: neighbors in u's shell at a lower or equal layer."""
+    pairs = decomposition.shell_layer
+    ku, iu = pairs[u]
+    return {
+        v
+        for v in graph.neighbors(u)
+        if pairs[v][0] == ku and pairs[v][1] <= iu
+    }
+
+
+def successive_degree(graph: Graph, decomposition: CoreDecomposition, u: Vertex) -> int:
+    """``deg_succ(u) = |{v in N(u) : P(v) > P(u)}|`` (the SD heuristic's score)."""
+    pairs = decomposition.shell_layer
+    pu = pairs[u]
+    return sum(1 for v in graph.neighbors(u) if pairs[v] > pu)
+
+
+def all_successive_degrees(graph: Graph, decomposition: CoreDecomposition) -> dict[Vertex, int]:
+    """Successive degree of every vertex in one pass."""
+    pairs = decomposition.shell_layer
+    return {
+        u: sum(1 for v in graph.neighbors(u) if pairs[v] > pairs[u])
+        for u in graph.vertices()
+    }
+
+
+def upstair_reachable(
+    graph: Graph, decomposition: CoreDecomposition, x: Vertex
+) -> set[Vertex]:
+    """``CF(x)``: vertices reachable from ``x`` via an upstair path.
+
+    An upstair path ``x ~> u`` (Definition 4.12) has every vertex after
+    ``x`` in u's shell, with strictly increasing shell-layer pairs along
+    consecutive edges. By Theorem 4.14 this set contains every possible
+    follower of anchoring ``x``. ``x`` itself is not included.
+
+    Anchors other than ``x`` cannot be followers and are skipped.
+    """
+    pairs = decomposition.shell_layer
+    anchors = decomposition.anchors
+    px = pairs[x]
+    reached: set[Vertex] = set()
+    queue: deque[Vertex] = deque()
+    # First hop: any neighbor v with P(x) < P(v). Within v's shell the
+    # path then climbs strictly increasing layers.
+    for v in graph.neighbors(x):
+        if v not in anchors and pairs[v] > px and v not in reached:
+            reached.add(v)
+            queue.append(v)
+    while queue:
+        u = queue.popleft()
+        ku, iu = pairs[u]
+        for v in graph.neighbors(u):
+            if v in reached or v in anchors or v == x:
+                continue
+            kv, iv = pairs[v]
+            if kv == ku and iv > iu:
+                reached.add(v)
+                queue.append(v)
+    return reached
+
+
+def layer_partition(decomposition: CoreDecomposition, k: int) -> list[set[Vertex]]:
+    """The layers ``H_k^1, H_k^2, ...`` of the k-shell, as a list of sets."""
+    layers: dict[int, set[Vertex]] = {}
+    for u, (ku, iu) in decomposition.shell_layer.items():
+        if ku == k and iu >= 1:
+            layers.setdefault(iu, set()).add(u)
+    return [layers[i] for i in sorted(layers)]
+
+
+def is_upstair_path(
+    graph: Graph, decomposition: CoreDecomposition, path: list[Vertex]
+) -> bool:
+    """Whether ``path`` (starting at the anchor) is an upstair path.
+
+    Checks Definition 4.12 exactly: consecutive vertices adjacent with
+    strictly increasing shell-layer pairs, and every vertex after the
+    first lies in the final vertex's shell.
+    """
+    if len(path) < 2:
+        return False
+    pairs = decomposition.shell_layer
+    target_shell = pairs[path[-1]][0]
+    for y in path[1:]:
+        if pairs[y][0] != target_shell:
+            return False
+    for a, b in zip(path, path[1:]):
+        if not graph.has_edge(a, b):
+            return False
+        if not pairs[a] < pairs[b]:
+            return False
+    return True

@@ -1,0 +1,138 @@
+"""Incremental core maintenance under edge insertions and removals.
+
+Social networks are dynamic; re-running core decomposition after every
+friendship change defeats the paper's premise of cheap engagement
+tracking. This module maintains coreness incrementally using the same
+structural facts the anchored-coreness machinery relies on:
+
+* inserting or deleting one edge changes any coreness by at most 1
+  (the Theorem 4.6 argument applied to an edge instead of an anchor);
+* only vertices with coreness ``r = min(c(u), c(v))`` that reach the
+  touched endpoints through coreness-``r`` paths (the *subcore*) can
+  change;
+* the changed set is a maximal-fixed-point computation — the identical
+  shape as Algorithm 4's survivor search.
+
+The maintainer owns its graph copy; mutate through it only.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.decomposition import core_decomposition
+from repro.graphs.graph import Graph, Vertex
+
+
+class CoreMaintainer:
+    """Maintains the coreness of every vertex across edge edits.
+
+    Usage::
+
+        maintainer = CoreMaintainer(graph)
+        maintainer.insert_edge(u, v)
+        maintainer.remove_edge(u, v)
+        maintainer.coreness[u]
+
+    ``graph`` is copied; the maintainer's copy is the source of truth.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph.copy()
+        self.coreness: dict[Vertex, int] = dict(
+            core_decomposition(self.graph).coreness
+        )
+
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: Vertex, v: Vertex) -> set[Vertex]:
+        """Insert ``(u, v)`` and update coreness; returns risen vertices.
+
+        New endpoints are created with coreness 0 before the update.
+        """
+        for w in (u, v):
+            if w not in self.graph:
+                self.graph.add_vertex(w)
+                self.coreness[w] = 0
+        self.graph.add_edge(u, v)
+        r = min(self.coreness[u], self.coreness[v])
+        roots = [w for w in (u, v) if self.coreness[w] == r]
+        candidates = self._subcore(roots, r)
+        # Maximal set of coreness-r vertices that now qualify for r+1:
+        # support = surviving candidates + neighbors of coreness > r.
+        survivors = self._max_fixed_point(candidates, threshold=r + 1)
+        for w in survivors:
+            self.coreness[w] = r + 1
+        return survivors
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> set[Vertex]:
+        """Remove ``(u, v)`` and update coreness; returns dropped vertices."""
+        self.graph.remove_edge(u, v)
+        r = min(self.coreness[u], self.coreness[v])
+        if r == 0:
+            return set()
+        roots = [w for w in (u, v) if self.coreness[w] == r]
+        candidates = self._subcore(roots, r)
+        # Vertices keeping coreness r must still find r supports among
+        # surviving candidates and deeper neighbors; the rest drop to r-1.
+        survivors = self._max_fixed_point(candidates, threshold=r)
+        dropped = candidates - survivors
+        for w in dropped:
+            self.coreness[w] = r - 1
+        return dropped
+
+    # ------------------------------------------------------------------
+    def _subcore(self, roots: list[Vertex], r: int) -> set[Vertex]:
+        """Coreness-r vertices reachable from roots via coreness-r paths."""
+        seen: set[Vertex] = set()
+        queue: deque[Vertex] = deque()
+        for w in roots:
+            if self.coreness[w] == r and w not in seen:
+                seen.add(w)
+                queue.append(w)
+        while queue:
+            w = queue.popleft()
+            for x in self.graph.neighbors(w):
+                if x not in seen and self.coreness[x] == r:
+                    seen.add(x)
+                    queue.append(x)
+        return seen
+
+    def _max_fixed_point(self, candidates: set[Vertex], threshold: int) -> set[Vertex]:
+        """Maximal S <= candidates where everyone keeps ``threshold`` support.
+
+        Support of ``w`` counts neighbors in S plus neighbors with
+        coreness above the candidates' level (they sit in deeper cores
+        regardless of the outcome). Computed by cascading deletion, the
+        same shape as Algorithm 5's shrink.
+        """
+        coreness = self.coreness
+        survivors = set(candidates)
+        support: dict[Vertex, int] = {}
+        for w in survivors:
+            cw = coreness[w]
+            support[w] = sum(
+                1
+                for x in self.graph.neighbors(w)
+                if x in survivors or coreness[x] > cw
+            )
+        queue = deque(w for w in survivors if support[w] < threshold)
+        while queue:
+            w = queue.popleft()
+            if w not in survivors:
+                continue
+            survivors.discard(w)
+            for x in self.graph.neighbors(w):
+                if x in survivors:
+                    support[x] -= 1
+                    if support[x] < threshold:
+                        queue.append(x)
+        return survivors
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Assert the maintained coreness equals a fresh decomposition."""
+        fresh = core_decomposition(self.graph).coreness
+        assert self.coreness == fresh, (
+            "incremental coreness diverged from recomputation: "
+            f"{ {u: (self.coreness[u], fresh[u]) for u in fresh if self.coreness[u] != fresh[u]} }"
+        )

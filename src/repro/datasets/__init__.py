@@ -1,0 +1,33 @@
+"""Synthetic replica datasets, the check-in model, and subgraph sampling."""
+
+from repro.datasets.checkins import (
+    MonthlySlice,
+    average_checkins_by_coreness,
+    monthly_slices,
+    simulate_checkins,
+)
+from repro.datasets.extract import snowball_samples, snowball_subgraph
+from repro.datasets.registry import SPECS, DatasetSpec, load, load_all, names, spec
+from repro.datasets.real import align_checkins, load_checkin_counts, load_real_graph
+from repro.datasets.toy import figure2_graph, figure5b_graph, nonsubmodular_graph
+
+__all__ = [
+    "align_checkins",
+    "figure2_graph",
+    "figure5b_graph",
+    "nonsubmodular_graph",
+    "SPECS",
+    "DatasetSpec",
+    "MonthlySlice",
+    "average_checkins_by_coreness",
+    "load",
+    "load_all",
+    "load_checkin_counts",
+    "load_real_graph",
+    "monthly_slices",
+    "names",
+    "simulate_checkins",
+    "snowball_samples",
+    "snowball_subgraph",
+    "spec",
+]

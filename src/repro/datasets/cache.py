@@ -1,0 +1,64 @@
+"""Disk caching for the replica datasets.
+
+Generating a replica costs up to a few seconds; pipelines that spawn
+many processes (benchmark sweeps, notebook restarts) can persist the
+edge lists instead. Files are keyed by the dataset's full generation
+recipe, so editing a spec in :mod:`repro.datasets.registry`
+automatically invalidates stale caches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.datasets import registry
+from repro.graphs.formats import read_adjacency_json, write_adjacency_json
+from repro.graphs.graph import Graph
+
+DEFAULT_CACHE_DIR = Path.home() / ".cache" / "repro-anchored-coreness"
+
+
+def _spec_digest(name: str) -> str:
+    spec = registry.spec(name)
+    blob = repr(sorted(asdict(spec).items())).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def cache_path(name: str, cache_dir: str | Path | None = None) -> Path:
+    """Where a dataset's cached file lives (existing or not).
+
+    Adjacency JSON is used instead of an edge list because replicas may
+    contain isolated vertices, which edge lists cannot represent.
+    """
+    base = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
+    return base / f"{registry.spec(name).name}-{_spec_digest(name)}.json"
+
+
+def load_cached(name: str, cache_dir: str | Path | None = None) -> Graph:
+    """Load a replica dataset through the disk cache.
+
+    On a cache miss the dataset is generated, written, and returned; on
+    a hit it is read from disk (identical graph — the generator is
+    deterministic and the file name pins the recipe).
+    """
+    path = cache_path(name, cache_dir)
+    if path.exists():
+        return read_adjacency_json(path)
+    graph = registry.load(name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    write_adjacency_json(graph, path)
+    return graph
+
+
+def clear_cache(cache_dir: str | Path | None = None) -> int:
+    """Delete every cached dataset file; returns how many were removed."""
+    base = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
+    if not base.exists():
+        return 0
+    removed = 0
+    for path in base.glob("*.json"):
+        path.unlink()
+        removed += 1
+    return removed

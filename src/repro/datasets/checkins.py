@@ -1,0 +1,155 @@
+"""Synthetic check-in (engagement) model — the Gowalla substitution.
+
+The paper uses Gowalla's user check-ins as ground-truth engagement to
+validate coreness as an engagement measure (Figure 1) and slices the
+network into 19 monthly activity graphs (Figure 9). Those logs are not
+available offline, so this module generates check-ins whose *expected*
+count grows with a user's coreness, with heavy-tailed noise — preserving
+by construction the correlation pattern the figures display (the
+reproduction therefore reads them as a model validation; DESIGN.md §4).
+
+Model:
+
+* user ``u`` with coreness ``c`` produces ``Gamma(shape, scale(c))``
+  check-ins, ``E[count] = base * (c + 1) ** gamma`` — heavy-tailed, so
+  sparse high-coreness bins fluctuate like the paper's Figure 1 does;
+* for monthly slices, each user joins at a month drawn earlier for
+  high-degree users (hubs adopt first) and is active in each later
+  month with a fixed probability.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.decomposition import core_decomposition
+from repro.graphs.graph import Graph, Vertex
+
+
+def simulate_checkins(
+    graph: Graph,
+    seed: int,
+    base: float = 4.0,
+    gamma: float = 1.3,
+    shape: float = 0.9,
+) -> dict[Vertex, int]:
+    """Per-user check-in counts correlated with coreness.
+
+    Args:
+        graph: the social network.
+        seed: RNG seed.
+        base: expected check-ins of a coreness-0 user.
+        gamma: growth exponent of expected check-ins in coreness.
+        shape: Gamma shape parameter; < 1 gives the heavy-tailed,
+            overdispersed counts real check-in data shows.
+
+    Returns:
+        check-in count per vertex (non-negative integers).
+    """
+    rng = random.Random(seed)
+    decomposition = core_decomposition(graph)
+    checkins: dict[Vertex, int] = {}
+    for u in graph.vertices():
+        mean = base * (decomposition.coreness[u] + 1.0) ** gamma
+        scale = mean / shape
+        checkins[u] = int(rng.gammavariate(shape, scale))
+    return checkins
+
+
+def average_checkins_by_coreness(
+    graph: Graph, checkins: dict[Vertex, int]
+) -> dict[int, float]:
+    """Figure 1's series: mean check-ins over users of each coreness."""
+    decomposition = core_decomposition(graph)
+    totals: dict[int, int] = {}
+    counts: dict[int, int] = {}
+    for u in graph.vertices():
+        c = decomposition.coreness[u]
+        totals[c] = totals.get(c, 0) + checkins[u]
+        counts[c] = counts.get(c, 0) + 1
+    return {c: totals[c] / counts[c] for c in sorted(totals)}
+
+
+@dataclass(frozen=True)
+class MonthlySlice:
+    """One month of the activity model (Figure 9).
+
+    Attributes:
+        month: 1-based month index.
+        graph: induced subgraph on the month's active users.
+        checkins: that month's check-ins per active user.
+    """
+
+    month: int
+    graph: Graph
+    checkins: dict[Vertex, int]
+
+    def user_count(self) -> int:
+        return self.graph.num_vertices
+
+    def average_checkins(self) -> float:
+        """Sum of check-ins over the number of active users."""
+        if not self.checkins:
+            return 0.0
+        return sum(self.checkins.values()) / len(self.checkins)
+
+    def average_coreness(self) -> float:
+        """Sum of coreness over the number of active users."""
+        if self.graph.num_vertices == 0:
+            return 0.0
+        decomposition = core_decomposition(self.graph)
+        return sum(decomposition.coreness.values()) / self.graph.num_vertices
+
+    def kcore_size_fraction(self, k: int) -> float:
+        """|k-core| divided by the number of active users."""
+        if self.graph.num_vertices == 0:
+            return 0.0
+        decomposition = core_decomposition(self.graph)
+        members = sum(1 for c in decomposition.coreness.values() if c >= k)
+        return members / self.graph.num_vertices
+
+
+def monthly_slices(
+    graph: Graph,
+    months: int = 19,
+    seed: int = 0,
+    activity: float = 0.8,
+    monthly_base: float = 2.0,
+    gamma: float = 1.2,
+) -> list[MonthlySlice]:
+    """The paper's 19 monthly activity networks (Figure 9).
+
+    Users join over time — high-degree users earlier, mimicking hub-first
+    adoption, with the early months holding under ~100 users like the
+    paper notes for Gowalla — and are active in each subsequent month
+    with probability ``activity``. Each slice is the induced subgraph on
+    the month's active users plus their simulated check-ins (expected
+    count rising with the user's coreness *in that month's network*).
+    """
+    rng = random.Random(seed)
+    ranked = sorted(graph.vertices(), key=graph.degree, reverse=True)
+    n = len(ranked)
+    join_month: dict[Vertex, int] = {}
+    for rank, u in enumerate(ranked):
+        # Smoothly stretch adoption across months: the top of the degree
+        # ranking lands in month ~1, the tail towards the final month.
+        position = (rank / max(n - 1, 1)) ** 0.6
+        mean_join = 1 + position * (months - 1)
+        join_month[u] = max(1, min(months, round(rng.gauss(mean_join, 1.5))))
+
+    slices: list[MonthlySlice] = []
+    for month in range(1, months + 1):
+        active = [
+            u
+            for u in graph.vertices()
+            if join_month[u] <= month and rng.random() < activity
+        ]
+        sub = graph.subgraph(active)
+        decomposition = core_decomposition(sub)
+        checkins: dict[Vertex, int] = {}
+        for u in active:
+            mean = monthly_base * (decomposition.coreness[u] + 1.0) ** gamma
+            checkins[u] = int(rng.gammavariate(0.9, mean / 0.9))
+        slices.append(MonthlySlice(month=month, graph=sub, checkins=checkins))
+    return slices

@@ -1,0 +1,21 @@
+"""Directed graphs and the anchored (k, l)-core (reference [14])."""
+
+from repro.directed.anchored import AnchoredDCoreResult, greedy_anchored_d_core
+from repro.directed.dcore import (
+    anchored_d_core_gain,
+    d_core,
+    d_core_members,
+    in_coreness,
+)
+from repro.directed.digraph import Arc, DiGraph
+
+__all__ = [
+    "AnchoredDCoreResult",
+    "Arc",
+    "DiGraph",
+    "anchored_d_core_gain",
+    "d_core",
+    "d_core_members",
+    "greedy_anchored_d_core",
+    "in_coreness",
+]

@@ -1,0 +1,153 @@
+"""A directed simple graph, for the anchored D-core extension.
+
+Chitnis, Fomin and Golovach (Inf. Comput. 2016) — reference [14] of the
+paper — study the anchored k-core problem on *directed* graphs, where
+engagement requires enough incoming support. This substrate mirrors
+:class:`repro.graphs.Graph` with separate in/out adjacency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import EdgeNotFoundError, GraphError, VertexNotFoundError
+from repro.graphs.graph import Graph, Vertex
+
+Arc = tuple[Vertex, Vertex]
+
+
+class DiGraph:
+    """A directed simple graph backed by out- and in-adjacency sets."""
+
+    __slots__ = ("_out", "_in", "_num_arcs")
+
+    def __init__(self, arcs: Iterable[Arc] | None = None) -> None:
+        self._out: dict[Vertex, set[Vertex]] = {}
+        self._in: dict[Vertex, set[Vertex]] = {}
+        self._num_arcs = 0
+        if arcs is not None:
+            for u, v in arcs:
+                self.add_arc(u, v)
+
+    @classmethod
+    def from_arcs(cls, arcs: Iterable[Arc]) -> "DiGraph":
+        return cls(arcs)
+
+    # ------------------------------------------------------------------
+    def add_vertex(self, u: Vertex) -> None:
+        if u not in self._out:
+            self._out[u] = set()
+            self._in[u] = set()
+
+    def add_arc(self, u: Vertex, v: Vertex) -> None:
+        """Add the arc ``u -> v``.
+
+        Raises:
+            GraphError: on self-loops or duplicate arcs.
+        """
+        if u == v:
+            raise GraphError(f"self-loop on {u!r} is not allowed")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if v in self._out[u]:
+            raise GraphError(f"arc ({u!r} -> {v!r}) already exists")
+        self._out[u].add(v)
+        self._in[v].add(u)
+        self._num_arcs += 1
+
+    def add_arc_if_absent(self, u: Vertex, v: Vertex) -> bool:
+        if u == v or self.has_arc(u, v):
+            return False
+        self.add_arc(u, v)
+        return True
+
+    def remove_arc(self, u: Vertex, v: Vertex) -> None:
+        if u not in self._out or v not in self._out[u]:
+            raise EdgeNotFoundError(u, v)
+        self._out[u].discard(v)
+        self._in[v].discard(u)
+        self._num_arcs -= 1
+
+    # ------------------------------------------------------------------
+    def __contains__(self, u: Vertex) -> bool:
+        return u in self._out
+
+    def __len__(self) -> int:
+        return len(self._out)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._out)
+
+    @property
+    def num_arcs(self) -> int:
+        return self._num_arcs
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._out)
+
+    def arcs(self) -> Iterator[Arc]:
+        for u, outs in self._out.items():
+            for v in outs:
+                yield (u, v)
+
+    def has_arc(self, u: Vertex, v: Vertex) -> bool:
+        return u in self._out and v in self._out[u]
+
+    def successors(self, u: Vertex) -> set[Vertex]:
+        """Out-neighbors (live internal set; do not mutate)."""
+        try:
+            return self._out[u]
+        except KeyError:
+            raise VertexNotFoundError(u) from None
+
+    def predecessors(self, u: Vertex) -> set[Vertex]:
+        """In-neighbors (live internal set; do not mutate)."""
+        try:
+            return self._in[u]
+        except KeyError:
+            raise VertexNotFoundError(u) from None
+
+    def out_degree(self, u: Vertex) -> int:
+        return len(self.successors(u))
+
+    def in_degree(self, u: Vertex) -> int:
+        return len(self.predecessors(u))
+
+    # ------------------------------------------------------------------
+    def copy(self) -> "DiGraph":
+        clone = DiGraph()
+        clone._out = {u: set(vs) for u, vs in self._out.items()}
+        clone._in = {u: set(vs) for u, vs in self._in.items()}
+        clone._num_arcs = self._num_arcs
+        return clone
+
+    def subgraph(self, vertices: Iterable[Vertex]) -> "DiGraph":
+        keep = {u for u in vertices if u in self._out}
+        sub = DiGraph()
+        for u in keep:
+            sub.add_vertex(u)
+        for u in keep:
+            for v in self._out[u]:
+                if v in keep:
+                    sub.add_arc(u, v)
+        return sub
+
+    def to_undirected(self) -> Graph:
+        """Forget orientation (parallel opposite arcs collapse)."""
+        graph = Graph()
+        for u in self.vertices():
+            graph.add_vertex(u)
+        for u, v in self.arcs():
+            graph.add_edge_if_absent(u, v)
+        return graph
+
+    def __repr__(self) -> str:
+        return f"DiGraph(n={self.num_vertices}, m={self.num_arcs})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return self._out == other._out
+
+    __hash__ = None  # type: ignore[assignment] - mutable container

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming from this package with a single ``except`` clause
+while still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graph operations."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """Raised when an operation references a vertex that is not in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """Raised when an operation references an edge that is not in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.edge = (u, v)
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset cannot be built or loaded."""
+
+
+class BudgetError(ReproError, ValueError):
+    """Raised when an anchoring budget is invalid for the given graph."""
+
+
+class ParseError(ReproError, ValueError):
+    """Raised when an edge-list file cannot be parsed."""

@@ -1,0 +1,52 @@
+"""Experiment runners — one module per table/figure of Section 5.
+
+Run from the command line::
+
+    python -m repro.experiments table4
+    python -m repro.experiments fig6 --full
+    python -m repro.experiments all
+
+or programmatically::
+
+    from repro.experiments import fig6
+    result = fig6.run(datasets=["gowalla"], budget=10)
+    print(result.format())
+"""
+
+from repro.experiments import (
+    ablation,
+    fig1,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    table4,
+    table6,
+    table7,
+    table8,
+)
+from repro.experiments.reporting import ExperimentResult, Table
+
+# Registry in the paper's presentation order.
+RUNNERS = {
+    "table4": table4.run,
+    "fig1": fig1.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "table6": table6.run,
+    "table7": table7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "table8": table8.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "ablation": ablation.run,
+}
+
+__all__ = ["ExperimentResult", "RUNNERS", "Table"]

@@ -1,0 +1,34 @@
+"""CLI entry point: ``python -m repro.experiments <id> [...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import RUNNERS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce a table/figure of the anchored coreness paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*RUNNERS, "all"],
+        help="experiment id (or 'all' to run everything with defaults)",
+    )
+    args = parser.parse_args(argv)
+    chosen = list(RUNNERS) if args.experiment == "all" else [args.experiment]
+    for name in chosen:
+        start = time.perf_counter()
+        result = RUNNERS[name]()
+        elapsed = time.perf_counter() - start
+        print(result.format())
+        print(f"\n[{name} finished in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

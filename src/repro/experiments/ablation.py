@@ -1,0 +1,78 @@
+"""Ablation studies for the design choices DESIGN.md §6 calls out.
+
+Not a paper artifact — quantifies the mechanisms behind Figures 12/13:
+
+* upper-bound tightness: how loose ``UB_sigma`` is against ``|F|``;
+* reuse effectiveness: cache hit rate over a GAC-U run;
+* the local follower search vs a full core decomposition per candidate.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.anchors.bounds import compute_upper_bounds
+from repro.anchors.followers import find_followers, followers_naive
+from repro.anchors.gac import gac_u
+from repro.anchors.state import AnchoredState
+from repro.datasets import registry
+from repro.experiments.reporting import ExperimentResult, Table
+
+
+def run(
+    dataset: str = "brightkite",
+    budget: int = 10,
+    follower_sample: int = 200,
+) -> ExperimentResult:
+    """Run all three ablations on one dataset."""
+    graph = registry.load(dataset)
+    state = AnchoredState.build(graph)
+
+    # 1. Upper-bound tightness over every vertex with at least 1 follower.
+    bounds = compute_upper_bounds(state)
+    ratios: list[float] = []
+    exact_nonzero = 0
+    for u in state.candidates():
+        total = find_followers(state, u).total
+        if total > 0:
+            ratios.append(bounds.total[u] / total)
+            exact_nonzero += 1
+    mean_ratio = sum(ratios) / len(ratios) if ratios else 0.0
+
+    # 2. Reuse effectiveness across a GAC-U run.
+    counters = gac_u(graph, budget).total_counters()
+    explored = counters.explored_nodes
+    reused = counters.reused_nodes
+    hit_rate = reused / (explored + reused) if explored + reused else 0.0
+
+    # 3. Local follower search vs full decomposition, per candidate.
+    sample = sorted(graph.vertices())[:follower_sample]
+    t0 = time.perf_counter()
+    for u in sample:
+        find_followers(state, u)
+    local_time = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for u in sample:
+        followers_naive(graph, u, base=state.decomposition)
+    naive_time = time.perf_counter() - t0
+    speedup = naive_time / local_time if local_time else float("inf")
+
+    table = Table(
+        title=f"Ablations on {dataset}",
+        headers=["metric", "value"],
+        rows=[
+            ["vertices with followers", exact_nonzero],
+            ["mean UB/|F| ratio", mean_ratio],
+            [f"cache hit rate (GAC-U, b={budget})", hit_rate],
+            [f"local follower search speedup vs naive (x{len(sample)})", speedup],
+        ],
+    )
+    return ExperimentResult(
+        name="ablation",
+        tables=[table],
+        data={
+            "mean_ub_ratio": mean_ratio,
+            "cache_hit_rate": hit_rate,
+            "follower_speedup": speedup,
+        },
+    )

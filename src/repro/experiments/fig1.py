@@ -1,0 +1,31 @@
+"""Figure 1 — average #check-ins per coreness value (Gowalla).
+
+The paper's motivating figure: users' coreness positively correlates
+with their check-in counts, with noise at the deepest cores where the
+sample is tiny. Our check-ins are simulated (DESIGN.md §4), so this
+figure validates the pipeline rather than providing new evidence.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import registry
+from repro.datasets.checkins import average_checkins_by_coreness, simulate_checkins
+from repro.experiments.reporting import ExperimentResult, Table
+
+
+def run(dataset: str = "gowalla", seed: int = 0) -> ExperimentResult:
+    """Mean simulated check-ins per coreness value on one dataset."""
+    graph = registry.load(dataset)
+    checkins = simulate_checkins(graph, seed=seed)
+    averages = average_checkins_by_coreness(graph, checkins)
+    table = Table(
+        title=f"Figure 1: avg #checkins by coreness ({dataset} replica)",
+        headers=["coreness", "avg_checkins"],
+        rows=[[c, avg] for c, avg in averages.items()],
+    )
+    return ExperimentResult(
+        name="fig1",
+        tables=[table],
+        notes=["check-ins are simulated with coreness-correlated means (DESIGN.md §4)"],
+        data={"averages": averages},
+    )

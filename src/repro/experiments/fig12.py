@@ -1,0 +1,76 @@
+"""Figure 12 — running time of GAC vs GAC-U vs GAC-U-R vs Baseline.
+
+(a) the three tree-based variants across datasets; (b) Baseline (full
+core decomposition per candidate) is only feasible on the smallest
+dataset, exactly as in the paper. Expected shape: Baseline >> GAC-U-R >
+GAC-U > GAC.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.anchors.gac import baseline, gac, gac_u, gac_u_r
+from repro.datasets import registry
+from repro.experiments.reporting import ExperimentResult, Table
+
+VARIANTS = {"GAC": gac, "GAC-U": gac_u, "GAC-U-R": gac_u_r}
+
+
+def run(
+    datasets: list[str] | None = None,
+    budget: int = 10,
+    baseline_dataset: str = "brightkite",
+    baseline_budget: int = 2,
+    include_baseline: bool = True,
+) -> ExperimentResult:
+    """Wall-clock runtimes (and the runs' traces, reused by Figure 13)."""
+    names = datasets if datasets is not None else ["brightkite", "gowalla", "stanford"]
+    table = Table(
+        title=f"Figure 12(a): runtime in seconds (b={budget})",
+        headers=["Dataset", *VARIANTS.keys()],
+    )
+    data: dict = {"runtimes": {}, "results": {}}
+    for name in names:
+        graph = registry.load(name)
+        times: dict[str, float] = {}
+        results = {}
+        for label, fn in VARIANTS.items():
+            t0 = time.perf_counter()
+            results[label] = fn(graph, budget)
+            times[label] = time.perf_counter() - t0
+        table.rows.append([registry.spec(name).display, *times.values()])
+        data["runtimes"][name] = times
+        data["results"][name] = results
+
+    tables = [table]
+    if include_baseline:
+        graph = registry.load(baseline_dataset)
+        rows = []
+        per_iter: dict[str, float] = {}
+        for label, fn in {"Baseline": baseline, "GAC-U-R": gac_u_r}.items():
+            t0 = time.perf_counter()
+            fn(graph, baseline_budget)
+            elapsed = time.perf_counter() - t0
+            per_iter[label] = elapsed / baseline_budget
+            rows.append([label, elapsed, per_iter[label]])
+        tables.append(
+            Table(
+                title=(
+                    f"Figure 12(b): Baseline vs GAC-U-R on {baseline_dataset} "
+                    f"(b={baseline_budget})"
+                ),
+                headers=["Algorithm", "total_s", "per_iteration_s"],
+                rows=rows,
+            )
+        )
+        data["baseline_per_iteration"] = per_iter
+    return ExperimentResult(
+        name="fig12",
+        tables=tables,
+        notes=[
+            "absolute times are pure-Python; only the ratios between "
+            "variants are comparable to the paper (DESIGN.md §4)"
+        ],
+        data=data,
+    )

@@ -1,0 +1,45 @@
+"""Figure 13 — search-space counters: visited tree nodes and vertices.
+
+Expected shape: reuse (GAC-U) explores a fraction of GAC-U-R's tree
+nodes; upper-bound pruning (GAC) cuts both counters further.
+"""
+
+from __future__ import annotations
+
+from repro.anchors.gac import gac, gac_u, gac_u_r
+from repro.datasets import registry
+from repro.experiments.reporting import ExperimentResult, Table
+
+VARIANTS = {"GAC": gac, "GAC-U": gac_u, "GAC-U-R": gac_u_r}
+
+
+def run(datasets: list[str] | None = None, budget: int = 10) -> ExperimentResult:
+    """Explored-node / visited-vertex counts per variant and dataset."""
+    names = datasets if datasets is not None else ["brightkite", "gowalla", "stanford"]
+    nodes_table = Table(
+        title=f"Figure 13(a): visited (explored) tree nodes (b={budget})",
+        headers=["Dataset", *VARIANTS.keys()],
+    )
+    vertices_table = Table(
+        title=f"Figure 13(b): visited vertices (b={budget})",
+        headers=["Dataset", *VARIANTS.keys()],
+    )
+    data: dict = {"nodes": {}, "vertices": {}, "pruned": {}}
+    for name in names:
+        graph = registry.load(name)
+        nodes: dict[str, int] = {}
+        vertices: dict[str, int] = {}
+        pruned: dict[str, int] = {}
+        for label, fn in VARIANTS.items():
+            counters = fn(graph, budget).total_counters()
+            nodes[label] = counters.explored_nodes
+            vertices[label] = counters.visited_vertices
+            pruned[label] = counters.pruned_candidates
+        nodes_table.rows.append([registry.spec(name).display, *nodes.values()])
+        vertices_table.rows.append([registry.spec(name).display, *vertices.values()])
+        data["nodes"][name] = nodes
+        data["vertices"][name] = vertices
+        data["pruned"][name] = pruned
+    return ExperimentResult(
+        name="fig13", tables=[nodes_table, vertices_table], data=data
+    )

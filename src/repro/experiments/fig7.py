@@ -1,0 +1,83 @@
+"""Figure 7 — GAC vs the Exact solver on small extracted subgraphs.
+
+The paper snowball-samples 10 subgraphs of ~100 vertices from Brightkite
+and Arxiv and runs Exact for b = 1..5, reporting GAC's gain ratio (>= 70%
+of optimal) and the speed gap (up to 5 orders of magnitude). A pure
+Python enumeration of C(100, 5) subsets is infeasible, so the defaults
+shrink to ~50-vertex samples and b <= 3 (parameters are exposed; the
+shape — high gain ratio, exploding Exact runtime — is unchanged).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.anchors.exact import exact_anchored_coreness
+from repro.anchors.gac import gac
+from repro.datasets import registry
+from repro.datasets.extract import snowball_samples
+from repro.experiments.reporting import ExperimentResult, Table
+
+
+def run(
+    datasets: tuple[str, ...] = ("brightkite", "arxiv"),
+    budgets: tuple[int, ...] = (1, 2, 3),
+    samples: int = 3,
+    sample_size: int = 50,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Average gain and runtime of GAC vs Exact over snowball samples."""
+    tables = []
+    data: dict = {}
+    for name in datasets:
+        graph = registry.load(name)
+        subgraphs = snowball_samples(graph, count=samples, size=sample_size, seed=seed)
+        table = Table(
+            title=f"Figure 7: GAC vs Exact on {name} samples "
+            f"(avg over {samples} subgraphs of ~{sample_size} vertices)",
+            headers=[
+                "b", "gain_GAC", "gain_Exact", "ratio", "time_GAC_s", "time_Exact_s",
+            ],
+        )
+        per_budget: dict[int, dict[str, float]] = {}
+        for b in budgets:
+            gac_gain = exact_gain = 0
+            gac_time = exact_time = 0.0
+            for sub in subgraphs:
+                t0 = time.perf_counter()
+                greedy = gac(sub, min(b, sub.num_vertices))
+                gac_time += time.perf_counter() - t0
+                gac_gain += greedy.total_gain
+                t0 = time.perf_counter()
+                exact = exact_anchored_coreness(sub, min(b, sub.num_vertices))
+                exact_time += time.perf_counter() - t0
+                exact_gain += exact.gain
+            ratio = gac_gain / exact_gain if exact_gain else 1.0
+            per_budget[b] = {
+                "gain_gac": gac_gain / samples,
+                "gain_exact": exact_gain / samples,
+                "ratio": ratio,
+                "time_gac": gac_time / samples,
+                "time_exact": exact_time / samples,
+            }
+            table.rows.append(
+                [
+                    b,
+                    per_budget[b]["gain_gac"],
+                    per_budget[b]["gain_exact"],
+                    ratio,
+                    per_budget[b]["time_gac"],
+                    per_budget[b]["time_exact"],
+                ]
+            )
+        tables.append(table)
+        data[name] = per_budget
+    return ExperimentResult(
+        name="fig7",
+        tables=tables,
+        notes=[
+            "sample size and budgets are reduced vs the paper "
+            "(pure-Python Exact enumeration cost); see module docstring"
+        ],
+        data=data,
+    )

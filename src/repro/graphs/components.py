@@ -1,0 +1,94 @@
+"""Connected-component utilities used by the core component tree."""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Iterable
+
+from repro.errors import VertexNotFoundError
+from repro.graphs.graph import Graph, Vertex
+
+
+def connected_components(graph: Graph) -> list[set[Vertex]]:
+    """All connected components as vertex sets (arbitrary order)."""
+    seen: set[Vertex] = set()
+    components: list[set[Vertex]] = []
+    for start in graph.vertices():
+        if start in seen:
+            continue
+        component = component_of(graph, start)
+        seen |= component
+        components.append(component)
+    return components
+
+
+def component_of(graph: Graph, start: Vertex) -> set[Vertex]:
+    """The vertex set of the connected component containing ``start``."""
+    if start not in graph:
+        raise VertexNotFoundError(start)
+    seen = {start}
+    queue: deque[Vertex] = deque([start])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if v not in seen:
+                seen.add(v)
+                queue.append(v)
+    return seen
+
+
+def restricted_component(
+    members: set[Vertex],
+    start: Vertex,
+    neighbors: Callable[[Vertex], Iterable[Vertex]],
+) -> set[Vertex]:
+    """Component of ``start`` within ``members`` under a neighbor function.
+
+    Used to find k-core components without materializing the induced
+    subgraph: ``members`` is the k-core vertex set and ``neighbors`` the
+    full-graph adjacency.
+    """
+    if start not in members:
+        raise ValueError(f"start vertex {start!r} is not in the member set")
+    seen = {start}
+    queue: deque[Vertex] = deque([start])
+    while queue:
+        u = queue.popleft()
+        for v in neighbors(u):
+            if v in members and v not in seen:
+                seen.add(v)
+                queue.append(v)
+    return seen
+
+
+def restricted_components(
+    members: set[Vertex],
+    neighbors: Callable[[Vertex], Iterable[Vertex]],
+) -> list[set[Vertex]]:
+    """All components of the subgraph induced by ``members``."""
+    seen: set[Vertex] = set()
+    components: list[set[Vertex]] = []
+    for start in members:
+        if start in seen:
+            continue
+        component = restricted_component(members, start, neighbors)
+        seen |= component
+        components.append(component)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph is connected (an empty graph counts as connected)."""
+    if graph.num_vertices == 0:
+        return True
+    start = next(iter(graph.vertices()))
+    return len(component_of(graph, start)) == graph.num_vertices
+
+
+def largest_component_subgraph(graph: Graph) -> Graph:
+    """The induced subgraph on the largest connected component."""
+    components = connected_components(graph)
+    if not components:
+        return Graph()
+    largest = max(components, key=len)
+    return graph.subgraph(largest)

@@ -1,0 +1,100 @@
+"""The NP-hardness reduction gadget of Theorem 3.1.
+
+Builds, from a Maximum Coverage instance (sets ``T_1..T_c`` over
+elements ``e_1..e_d``), the anchored-coreness instance of the proof:
+
+* a *set vertex* ``w_i`` per set, adjacent to its elements' vertices;
+* an *element vertex* ``v_j`` per element;
+* per element, ``d`` cliques of size ``d + 2``, each attached to ``v_j``
+  through one clique vertex.
+
+The proof's structural claims — ``c(w_i) = deg(w_i)``, ``c(v_j) = d``,
+clique vertices at ``d + 1``, and (for budgets ``b < c < d``) anchoring
+set vertices gains exactly the number of covered elements — are exposed
+for the test suite, turning the hardness proof into executable checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.graph import Graph, Vertex
+
+
+@dataclass(frozen=True)
+class MaxCoverageInstance:
+    """A Maximum Coverage instance: ``sets[i]`` holds element indices."""
+
+    sets: tuple[frozenset[int], ...]
+
+    @property
+    def elements(self) -> frozenset[int]:
+        result: set[int] = set()
+        for s in self.sets:
+            result |= s
+        return frozenset(result)
+
+    @classmethod
+    def of(cls, *sets: set[int] | frozenset[int]) -> "MaxCoverageInstance":
+        return cls(tuple(frozenset(s) for s in sets))
+
+    def coverage(self, chosen: tuple[int, ...]) -> int:
+        """Number of elements covered by the chosen set indices."""
+        covered: set[int] = set()
+        for i in chosen:
+            covered |= self.sets[i]
+        return len(covered)
+
+
+@dataclass(frozen=True)
+class ReductionGraph:
+    """The anchored-coreness instance built from a MC instance.
+
+    Attributes:
+        graph: the constructed graph.
+        set_vertices: ``w_i`` per set index (part M).
+        element_vertices: ``v_j`` per element (part N).
+        d: the number of elements (clique size is ``d + 2``).
+    """
+
+    graph: Graph
+    set_vertices: dict[int, Vertex]
+    element_vertices: dict[int, Vertex]
+    d: int
+
+
+def build_reduction(instance: MaxCoverageInstance) -> ReductionGraph:
+    """Construct the Theorem 3.1 gadget (see Figure 3 of the paper).
+
+    Vertices are labelled with readable tuples: ``("w", i)``, ``("v", j)``,
+    and ``("q", j, t, s)`` for vertex ``s`` of the ``t``-th clique hung
+    off element ``j``.
+    """
+    elements = sorted(instance.elements)
+    d = len(elements)
+    if d == 0:
+        raise ValueError("the MC instance must have at least one element")
+    graph = Graph()
+    set_vertices = {i: ("w", i) for i in range(len(instance.sets))}
+    element_vertices = {j: ("v", j) for j in elements}
+    for w in set_vertices.values():
+        graph.add_vertex(w)
+    for v in element_vertices.values():
+        graph.add_vertex(v)
+    for i, subset in enumerate(instance.sets):
+        for j in subset:
+            graph.add_edge(set_vertices[i], element_vertices[j])
+    clique_size = d + 2
+    for j in elements:
+        for t in range(d):
+            members = [("q", j, t, s) for s in range(clique_size)]
+            for a in range(clique_size):
+                for b in range(a + 1, clique_size):
+                    graph.add_edge(members[a], members[b])
+            graph.add_edge(element_vertices[j], members[0])
+    return ReductionGraph(
+        graph=graph,
+        set_vertices=set_vertices,
+        element_vertices=element_vertices,
+        d=d,
+    )

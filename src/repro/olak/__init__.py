@@ -1,0 +1,5 @@
+"""OLAK: the anchored k-core baseline algorithm (Table 8, Figures 8/10/11)."""
+
+from repro.olak.olak import OlakResult, olak, olak_sweep
+
+__all__ = ["OlakResult", "olak", "olak_sweep"]

@@ -1,0 +1,153 @@
+"""OLAK — the anchored k-core baseline (Zhang et al., PVLDB 2017).
+
+The anchored k-core (AK) problem fixes ``k`` and anchors ``b`` vertices
+to maximize the size of the k-core. Reimplemented here as the greedy
+onion-layer algorithm: in each iteration, every candidate's followers
+(the coreness-(k-1) vertices that the anchoring pulls into the k-core)
+are found with the same local upstair-path search used for anchored
+coreness, restricted to the (k-1)-shell — for a single anchor a vertex's
+coreness rises by at most one (Theorem 4.6), so only that shell can
+enter the k-core.
+
+The paper compares against OLAK in Table 8 and Figures 8, 10, 11:
+besides the k-core growth, :func:`olak` reports the anchor set's *full*
+coreness gain ``g(A, G)`` so the two models can be compared on the
+anchored-coreness objective.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.anchors.followers import FollowerCounters, find_followers
+from repro.anchors.incremental import apply_anchor
+from repro.anchors.state import AnchoredState
+from repro.core.decomposition import _sort_key, core_decomposition
+from repro.errors import BudgetError
+from repro.graphs.graph import Graph, Vertex
+
+
+@dataclass
+class OlakResult:
+    """Outcome of an OLAK run for one ``k``.
+
+    Attributes:
+        k: the k-core parameter.
+        anchors: chosen anchors in selection order.
+        followers: per anchor, the vertices it pulled into the k-core
+            at its selection time.
+        kcore_growth: number of non-anchor vertices added to the k-core.
+        coreness_gain: the anchor set's total coreness gain ``g(A, G)``
+            (the anchored-coreness objective, for Table 8).
+        elapsed_seconds: wall-clock time of the greedy run.
+    """
+
+    k: int
+    anchors: list[Vertex] = field(default_factory=list)
+    followers: dict[Vertex, frozenset[Vertex]] = field(default_factory=dict)
+    kcore_growth: int = 0
+    coreness_gain: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def anchor_set(self) -> frozenset[Vertex]:
+        return frozenset(self.anchors)
+
+
+def olak(graph: Graph, k: int, budget: int, seed: int | None = None) -> OlakResult:
+    """Greedy anchored k-core: ``budget`` anchors maximizing k-core size.
+
+    Args:
+        graph: the social network (never mutated).
+        k: the core parameter (``k >= 2`` is meaningful).
+        budget: number of anchors to select.
+        seed: unused, accepted for interface symmetry with the heuristics.
+
+    Raises:
+        BudgetError: when the budget is invalid for the graph.
+    """
+    del seed  # deterministic: ties break by smallest vertex id
+    if budget < 0 or budget > graph.num_vertices:
+        raise BudgetError(f"budget {budget} is invalid for n={graph.num_vertices}")
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+
+    start = time.perf_counter()
+    result = OlakResult(k=k)
+    state = AnchoredState.build(graph)
+    base_coreness = dict(state.decomposition.coreness)
+
+    for _ in range(budget):
+        best, best_followers = _select_best(state, k)
+        if best is None:
+            break
+        result.anchors.append(best)
+        result.followers[best] = frozenset(best_followers)
+        result.kcore_growth += len(best_followers)
+        apply_anchor(state, best, compute_removals=False)
+
+    anchor_set = set(result.anchors)
+    final = core_decomposition(graph, anchor_set)
+    result.coreness_gain = sum(
+        final.coreness[u] - base_coreness[u]
+        for u in graph.vertices()
+        if u not in anchor_set
+    )
+    result.elapsed_seconds = time.perf_counter() - start
+    return result
+
+
+def _select_best(
+    state: AnchoredState, k: int
+) -> tuple[Vertex | None, frozenset[Vertex]]:
+    """The candidate whose anchoring adds the most vertices to the k-core.
+
+    Only vertices with current coreness < k are useful anchors: a vertex
+    already in the k-core gains the k-core nothing by being anchored
+    (its presence and its edges are unchanged).
+    """
+    coreness = state.decomposition.coreness
+    pairs = state.decomposition.shell_layer
+    graph = state.graph
+
+    def has_candidate_followers(x: Vertex) -> bool:
+        # a follower search can only start through a neighbor in the
+        # (k-1)-shell, at a strictly higher layer when x shares it
+        px = pairs[x]
+        for v in graph.neighbors(x):
+            if coreness[v] != k - 1 or v in state.anchors:
+                continue
+            if coreness[x] < k - 1 or pairs[v] > px:
+                return True
+        return False
+
+    candidates = [
+        u
+        for u in graph.vertices()
+        if u not in state.anchors and coreness[u] < k and has_candidate_followers(u)
+    ]
+    best: Vertex | None = None
+    best_followers: frozenset[Vertex] = frozenset()
+    counters = FollowerCounters()
+    for u in sorted(candidates, key=_sort_key):
+        report = find_followers(state, u, counters=counters, only_coreness=k - 1)
+        followers = report.all_members()
+        if best is None or len(followers) > len(best_followers):
+            best = u
+            best_followers = frozenset(followers)
+    return best, best_followers
+
+
+def olak_sweep(
+    graph: Graph, budget: int, k_values: list[int] | None = None
+) -> dict[int, OlakResult]:
+    """Run OLAK for every ``k`` (Figure 10 / Table 8).
+
+    ``k_values`` defaults to ``2 .. k_max + 1`` — every k for which a
+    (k-1)-shell exists to pull from.
+    """
+    if k_values is None:
+        k_max = core_decomposition(graph).max_coreness
+        k_values = list(range(2, k_max + 2))
+    return {k: olak(graph, k, budget) for k in k_values}

@@ -1,0 +1,31 @@
+"""Truss decomposition and the anchored trussness extension (paper §7)."""
+
+from repro.truss.anchored import (
+    AnchoredTrussResult,
+    edge_followers,
+    greedy_anchored_trussness,
+    trussness_gain,
+)
+from repro.truss.decomposition import (
+    Edge,
+    TrussComponentTree,
+    TrussDecomposition,
+    canonical_edge,
+    edge_supports,
+    k_truss,
+    truss_decomposition,
+)
+
+__all__ = [
+    "AnchoredTrussResult",
+    "Edge",
+    "TrussComponentTree",
+    "TrussDecomposition",
+    "canonical_edge",
+    "edge_followers",
+    "edge_supports",
+    "greedy_anchored_trussness",
+    "k_truss",
+    "truss_decomposition",
+    "trussness_gain",
+]

@@ -1,0 +1,88 @@
+"""Tests for analysis metrics and dataset statistics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    anchor_characteristics,
+    coreness_distribution,
+    distribution_spread,
+    jaccard_index,
+)
+from repro.analysis.stats import graph_stats
+from repro.datasets.toy import figure2_graph
+from repro.graphs.generators import clique
+from repro.graphs.graph import Graph
+
+
+class TestJaccard:
+    def test_disjoint(self):
+        assert jaccard_index([1, 2], [3, 4]) == 0.0
+
+    def test_identical(self):
+        assert jaccard_index([1, 2], [2, 1]) == 1.0
+
+    def test_partial(self):
+        assert jaccard_index([1, 2, 3], [2, 3, 4]) == pytest.approx(0.5)
+
+    def test_both_empty(self):
+        assert jaccard_index([], []) == 1.0
+
+
+class TestDistributions:
+    def test_coreness_distribution(self):
+        g = figure2_graph()
+        dist = coreness_distribution(g, [1, 2, 3, 6, 9])
+        assert dist == {1: 1, 2: 2, 3: 1, 4: 1}
+
+    def test_distribution_sorted(self):
+        g = figure2_graph()
+        dist = coreness_distribution(g, g.vertices())
+        assert list(dist) == sorted(dist)
+
+    def test_spread(self):
+        assert distribution_spread({1: 3, 2: 0, 5: 1}) == 2
+        assert distribution_spread({}) == 0
+
+
+class TestAnchorCharacteristics:
+    def test_high_degree_anchors_rank_high(self):
+        g = figure2_graph()
+        top = sorted(g.vertices(), key=g.degree, reverse=True)[:2]
+        chars = anchor_characteristics(g, top)
+        assert chars.degree_anchors > chars.degree_avg
+        assert chars.p_degree > 0.8
+
+    def test_empty_anchor_set(self):
+        chars = anchor_characteristics(figure2_graph(), [])
+        assert chars.degree_anchors == 0.0
+        assert chars.p_degree == 0.0
+
+    def test_percentile_ties_order_independent(self):
+        # every vertex of a clique has identical scores: percentile is
+        # the average rank regardless of which vertices are anchors
+        g = clique(5)
+        a = anchor_characteristics(g, [0, 1])
+        b = anchor_characteristics(g, [3, 4])
+        assert a.p_degree == b.p_degree == pytest.approx(0.6)  # avg rank 3/5
+
+    def test_degree_avg(self):
+        g = clique(4)
+        chars = anchor_characteristics(g, [0])
+        assert chars.degree_avg == pytest.approx(3.0)
+        assert chars.degree_anchors == pytest.approx(3.0)
+
+
+class TestStats:
+    def test_graph_stats(self):
+        g = figure2_graph()
+        stats = graph_stats(g)
+        assert stats.nodes == 13
+        assert stats.edges == g.num_edges
+        assert stats.k_max == 4
+        assert stats.degree_max == g.max_degree()
+        assert stats.degree_avg == pytest.approx(g.average_degree())
+
+    def test_empty_graph_stats(self):
+        stats = graph_stats(Graph())
+        assert stats.nodes == 0
+        assert stats.k_max == 0

@@ -1,0 +1,100 @@
+"""Tests for the departure-cascade (unraveling) simulation."""
+
+import pytest
+
+from repro.cascade import (
+    collapse_resistance,
+    departure_cascade,
+    protection_value,
+)
+from repro.core.decomposition import core_decomposition
+from repro.datasets.toy import figure2_graph
+from repro.graphs.generators import clique
+from repro.graphs.graph import Graph
+
+from conftest import small_random_graph
+
+
+class TestEquilibrium:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_no_seeds_equilibrium_is_kcore(self, seed, k):
+        """With nobody leaving first, survivors are exactly the k-core."""
+        g = small_random_graph(seed)
+        result = departure_cascade(g, k, seeds=[])
+        dec = core_decomposition(g)
+        assert result.survivors == {u for u in g.vertices() if dec.coreness[u] >= k}
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_seeded_equilibrium_is_residual_kcore(self, seed):
+        g = small_random_graph(seed)
+        seeds = sorted(g.vertices())[:3]
+        result = departure_cascade(g, 2, seeds=seeds)
+        residual = g.subgraph(set(g.vertices()) - set(seeds))
+        dec = core_decomposition(residual)
+        assert result.survivors == {
+            u for u in residual.vertices() if dec.coreness[u] >= 2
+        }
+
+    def test_anchored_equilibrium_is_anchored_kcore(self):
+        g = figure2_graph()
+        anchors = {5}
+        result = departure_cascade(g, 4, seeds=[], anchors=anchors)
+        dec = core_decomposition(g, anchors)
+        assert result.survivors == dec.k_core_members(4)
+
+
+class TestContagion:
+    def test_total_collapse(self):
+        # a cycle at threshold 2: one departure unravels everything
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        result = departure_cascade(g, 2, seeds=[0])
+        assert result.survivors == set()
+        assert result.contagion_size == 3
+        assert result.rounds >= 1
+
+    def test_anchor_stops_collapse(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        result = departure_cascade(g, 2, seeds=[0], anchors={2})
+        # the anchor holds, but its neighbors still lack support
+        assert 2 in result.survivors
+
+    def test_anchored_seed_refuses_to_leave(self):
+        g = clique(4)
+        result = departure_cascade(g, 2, seeds=[0], anchors={0})
+        assert result.departed == set()
+
+    def test_rounds_counted(self):
+        # a path unravels one vertex per wave from the cut end
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 2)])
+        result = departure_cascade(g, 2, seeds=[0])
+        assert result.departures_per_round[0] == 1  # vertex 1
+
+
+class TestMetrics:
+    def test_collapse_resistance_range(self):
+        g = small_random_graph(4)
+        r = collapse_resistance(g, 2, seeds=sorted(g.vertices())[:2])
+        assert 0.0 <= r <= 1.0
+
+    def test_resistance_all_seeds(self):
+        g = clique(3)
+        assert collapse_resistance(g, 2, seeds=[0, 1, 2]) == 1.0
+
+    def test_anchoring_the_leaver_saves_the_cycle(self):
+        # anchoring the would-be leaver prevents the whole unraveling
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert protection_value(g, 2, seeds=[0], anchors={0}) == 3
+
+    def test_anchor_preserves_partial_structure(self):
+        # triangle {2,3,4} hangs off a fragile chain 0-1-2; anchoring 1
+        # keeps the chain's middle engaged after 0 leaves
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (2, 4)])
+        unprotected = departure_cascade(g, 2, seeds=[0])
+        assert 1 not in unprotected.survivors
+        protected = departure_cascade(g, 2, seeds=[0], anchors={1})
+        assert protected.survivors >= {1, 2, 3, 4}
+
+    def test_protection_of_empty_anchor_set(self):
+        g = small_random_graph(5)
+        assert protection_value(g, 2, seeds=[0], anchors=set()) == 0

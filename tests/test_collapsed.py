@@ -1,0 +1,88 @@
+"""Tests for the collapsed k-core greedy (the anchoring dual)."""
+
+import pytest
+
+from repro.anchors.collapsed import (
+    greedy_collapsed_kcore,
+    kcore_after_collapse,
+)
+from repro.core.decomposition import core_decomposition
+from repro.datasets.toy import figure2_graph
+from repro.errors import BudgetError
+from repro.graphs.generators import clique, disjoint_union
+from repro.graphs.graph import Graph
+
+from conftest import small_random_graph
+
+
+class TestKcoreAfterCollapse:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_recomputation(self, seed):
+        g = small_random_graph(seed)
+        collapsers = set(sorted(g.vertices())[:2])
+        survivors = kcore_after_collapse(g, 2, collapsers)
+        residual = g.subgraph(set(g.vertices()) - collapsers)
+        dec = core_decomposition(residual)
+        assert survivors == {u for u in residual.vertices() if dec.coreness[u] >= 2}
+
+    def test_no_collapsers(self, triangle):
+        assert kcore_after_collapse(triangle, 2, set()) == {0, 1, 2}
+
+
+class TestGreedy:
+    def test_clique_evicts_everything(self):
+        # removing any vertex of K4 drops the rest below threshold 3
+        result = greedy_collapsed_kcore(clique(4), 3, 1)
+        assert result.initial_core_size == 4
+        assert result.final_core_size == 0
+        assert result.evictions == [4]
+
+    def test_figure2_collapse(self):
+        g = figure2_graph()
+        result = greedy_collapsed_kcore(g, 4, 1)
+        # the 4-core is the 5-clique; removing any member kills it all
+        assert result.initial_core_size == 5
+        assert result.final_core_size == 0
+
+    def test_picks_the_cut_vertex(self):
+        # two triangles sharing vertex 0: removing 0 kills both
+        g = Graph.from_edges(
+            [(0, 1), (1, 2), (0, 2), (0, 3), (3, 4), (0, 4)]
+        )
+        result = greedy_collapsed_kcore(g, 2, 1)
+        assert result.collapsers == [0]
+        assert result.total_evicted == 5
+
+    def test_sequential_budget(self):
+        # two disjoint K4s at threshold 3: one collapser each
+        g = disjoint_union(clique(4), clique(4))
+        result = greedy_collapsed_kcore(g, 3, 2)
+        assert result.evictions == [4, 4]
+        assert result.final_core_size == 0
+
+    def test_candidates_limited_to_core(self):
+        g = figure2_graph()
+        result = greedy_collapsed_kcore(g, 4, 2)
+        base = core_decomposition(g)
+        for u in result.collapsers:
+            assert base.coreness[u] >= 4
+
+    def test_stops_when_core_empty(self):
+        result = greedy_collapsed_kcore(clique(3), 2, 3)
+        assert len(result.collapsers) == 1  # first removal empties the core
+
+    def test_total_evicted_consistent(self):
+        g = small_random_graph(4)
+        result = greedy_collapsed_kcore(g, 2, 3)
+        assert result.total_evicted == sum(result.evictions)
+        assert result.total_evicted >= len(result.collapsers)
+
+
+class TestValidation:
+    def test_bad_budget(self):
+        with pytest.raises(BudgetError):
+            greedy_collapsed_kcore(clique(3), 2, -1)
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            greedy_collapsed_kcore(clique(3), 0, 1)

@@ -1,0 +1,72 @@
+"""Unit tests for connected-component utilities."""
+
+import pytest
+
+from repro.errors import VertexNotFoundError
+from repro.graphs.components import (
+    component_of,
+    connected_components,
+    is_connected,
+    largest_component_subgraph,
+    restricted_component,
+    restricted_components,
+)
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def two_components() -> Graph:
+    g = Graph.from_edges([(0, 1), (1, 2), (5, 6)])
+    g.add_vertex(9)
+    return g
+
+
+def test_connected_components(two_components):
+    comps = sorted(connected_components(two_components), key=min)
+    assert comps == [{0, 1, 2}, {5, 6}, {9}]
+
+
+def test_component_of(two_components):
+    assert component_of(two_components, 1) == {0, 1, 2}
+    assert component_of(two_components, 9) == {9}
+
+
+def test_component_of_missing(two_components):
+    with pytest.raises(VertexNotFoundError):
+        component_of(two_components, 42)
+
+
+def test_is_connected(two_components, triangle):
+    assert not is_connected(two_components)
+    assert is_connected(triangle)
+    assert is_connected(Graph())
+
+
+def test_largest_component(two_components):
+    sub = largest_component_subgraph(two_components)
+    assert set(sub.vertices()) == {0, 1, 2}
+    assert sub.num_edges == 2
+
+
+def test_largest_component_empty():
+    assert largest_component_subgraph(Graph()).num_vertices == 0
+
+
+def test_restricted_component():
+    g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+    # restrict to {0, 1, 3}: vertex 3 is cut off from {0, 1} without 2
+    members = {0, 1, 3}
+    assert restricted_component(members, 0, g.neighbors) == {0, 1}
+    assert restricted_component(members, 3, g.neighbors) == {3}
+
+
+def test_restricted_component_bad_start():
+    g = Graph.from_edges([(0, 1)])
+    with pytest.raises(ValueError):
+        restricted_component({0}, 1, g.neighbors)
+
+
+def test_restricted_components():
+    g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+    comps = sorted(restricted_components({0, 1, 3}, g.neighbors), key=min)
+    assert comps == [{0, 1}, {3}]

@@ -1,0 +1,48 @@
+"""Tests for the correlation statistics."""
+
+import pytest
+
+from repro.analysis.correlation import pearson, spearman
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_uncorrelated_constant(self):
+        assert pearson([1, 2, 3], [5, 5, 5]) == 0.0
+
+    def test_short_input(self):
+        assert pearson([1], [2]) == 0.0
+        assert pearson([], []) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1])
+
+    def test_known_value(self):
+        # hand-computed example
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [1.0, 3.0, 2.0, 4.0]
+        assert pearson(xs, ys) == pytest.approx(0.8)
+
+
+class TestSpearman:
+    def test_monotone_nonlinear(self):
+        xs = [1, 2, 3, 4, 5]
+        ys = [1, 8, 27, 64, 125]  # nonlinear but rank-identical
+        assert spearman(xs, ys) == pytest.approx(1.0)
+        assert pearson(xs, ys) < 1.0
+
+    def test_ties_handled(self):
+        assert spearman([1, 1, 2], [3, 3, 4]) == pytest.approx(1.0)
+
+    def test_reverse(self):
+        assert spearman([1, 2, 3], [9, 5, 1]) == pytest.approx(-1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman([1, 2, 3], [1])

@@ -1,0 +1,142 @@
+"""Tests for the dataset registry, check-in model, and samplers."""
+
+import pytest
+
+from repro.core.decomposition import core_decomposition
+from repro.datasets import registry
+from repro.datasets.checkins import (
+    average_checkins_by_coreness,
+    monthly_slices,
+    simulate_checkins,
+)
+from repro.datasets.extract import snowball_samples, snowball_subgraph
+from repro.errors import DatasetError
+from repro.graphs.generators import powerlaw_social_graph
+
+
+class TestRegistry:
+    def test_names_order(self):
+        assert registry.names()[0] == "brightkite"
+        assert registry.names()[-1] == "livejournal"
+        assert len(registry.names()) == 8
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            registry.spec("nope")
+
+    def test_spec_case_insensitive(self):
+        assert registry.spec("Gowalla").name == "gowalla"
+
+    def test_load_cached(self):
+        a = registry.load("brightkite")
+        b = registry.load("brightkite")
+        assert a is b
+
+    def test_smallest_replica_shape(self):
+        g = registry.load("brightkite")
+        spec = registry.spec("brightkite")
+        assert g.num_vertices == spec.n
+        assert g.max_degree() > 5 * g.average_degree()  # heavy tail
+
+    def test_edge_count_ordering(self):
+        """Table 4 lists datasets in increasing edge order."""
+        sizes = [registry.load(name).num_edges for name in registry.names()]
+        assert sizes == sorted(sizes)
+
+
+class TestCheckins:
+    def test_deterministic(self):
+        g = registry.load("brightkite")
+        assert simulate_checkins(g, seed=1) == simulate_checkins(g, seed=1)
+
+    def test_nonnegative(self):
+        g = registry.load("brightkite")
+        assert all(c >= 0 for c in simulate_checkins(g, seed=2).values())
+
+    def test_positive_correlation_with_coreness(self):
+        g = registry.load("brightkite")
+        averages = average_checkins_by_coreness(g, simulate_checkins(g, seed=3))
+        cores = sorted(averages)
+        low = sum(averages[c] for c in cores[:3]) / 3
+        high_bins = [c for c in cores if c >= cores[len(cores) // 2]]
+        high = sum(averages[c] for c in high_bins) / len(high_bins)
+        assert high > 2 * low
+
+    def test_every_vertex_covered(self):
+        g = registry.load("brightkite")
+        checkins = simulate_checkins(g, seed=4)
+        assert set(checkins) == set(g.vertices())
+
+
+class TestMonthlySlices:
+    def test_user_growth(self):
+        g = powerlaw_social_graph(600, 6.0, seed=0)
+        slices = monthly_slices(g, months=10, seed=1)
+        assert len(slices) == 10
+        assert slices[0].user_count() < slices[-1].user_count()
+
+    def test_slices_are_induced_subgraphs(self):
+        g = powerlaw_social_graph(300, 6.0, seed=0)
+        for s in monthly_slices(g, months=5, seed=2):
+            for u in s.graph.vertices():
+                assert u in g
+            for u, v in s.graph.edges():
+                assert g.has_edge(u, v)
+
+    def test_metrics_nonnegative(self):
+        g = powerlaw_social_graph(300, 6.0, seed=0)
+        s = monthly_slices(g, months=4, seed=3)[-1]
+        assert s.average_checkins() >= 0
+        assert s.average_coreness() >= 0
+        assert 0 <= s.kcore_size_fraction(3) <= 1
+
+    def test_empty_slice_metrics(self):
+        from repro.datasets.checkins import MonthlySlice
+        from repro.graphs.graph import Graph
+
+        s = MonthlySlice(month=1, graph=Graph(), checkins={})
+        assert s.average_checkins() == 0.0
+        assert s.average_coreness() == 0.0
+        assert s.kcore_size_fraction(2) == 0.0
+
+
+class TestSnowball:
+    def test_size_approximate(self):
+        g = registry.load("brightkite")
+        sub = snowball_subgraph(g, size=60, seed=0)
+        # may overshoot by one neighborhood expansion
+        assert 60 <= sub.num_vertices <= 60 + g.max_degree()
+
+    def test_induced(self):
+        g = registry.load("brightkite")
+        sub = snowball_subgraph(g, size=40, seed=1)
+        for u, v in sub.edges():
+            assert g.has_edge(u, v)
+
+    def test_deterministic(self):
+        g = registry.load("brightkite")
+        a = snowball_subgraph(g, size=40, seed=2)
+        b = snowball_subgraph(g, size=40, seed=2)
+        assert a == b
+
+    def test_samples_differ(self):
+        g = registry.load("brightkite")
+        subs = snowball_samples(g, count=3, size=40, seed=0)
+        assert len(subs) == 3
+        assert subs[0] != subs[1]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            snowball_subgraph(registry.load("brightkite"), size=0, seed=0)
+
+    def test_whole_graph_when_size_exceeds(self):
+        from repro.graphs.generators import clique
+
+        sub = snowball_subgraph(clique(4), size=100, seed=0)
+        assert sub.num_vertices == 4
+
+    def test_decomposable(self):
+        g = registry.load("brightkite")
+        sub = snowball_subgraph(g, size=50, seed=3)
+        dec = core_decomposition(sub)
+        assert dec.max_coreness >= 1

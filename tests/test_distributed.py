@@ -1,0 +1,64 @@
+"""Tests for the simulated distributed core decomposition."""
+
+import pytest
+
+from repro.core.decomposition import core_decomposition
+from repro.distributed import DistributedRun, distributed_core_decomposition, h_index
+from repro.graphs.generators import clique
+from repro.graphs.graph import Graph
+
+from conftest import small_random_graph
+
+
+class TestHIndex:
+    def test_basic(self):
+        assert h_index([3, 3, 3]) == 3
+        assert h_index([5, 1, 1]) == 1
+        assert h_index([]) == 0
+        assert h_index([0, 0]) == 0
+        assert h_index([2, 2, 2, 2]) == 2
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_converges_to_coreness(self, seed):
+        g = small_random_graph(seed)
+        run = distributed_core_decomposition(g)
+        assert run.estimates == core_decomposition(g).coreness
+
+    def test_clique_one_round(self):
+        run = distributed_core_decomposition(clique(5))
+        assert all(v == 4 for v in run.estimates.values())
+        # degrees are already the coreness: one confirming round suffices
+        assert run.rounds == 1
+
+    def test_path_rounds_grow_with_length(self):
+        short = Graph.from_edges([(i, i + 1) for i in range(3)])
+        long = Graph.from_edges([(i, i + 1) for i in range(30)])
+        r_short = distributed_core_decomposition(short)
+        r_long = distributed_core_decomposition(long)
+        assert r_short.estimates == core_decomposition(short).coreness
+        assert r_long.estimates == core_decomposition(long).coreness
+        assert r_long.rounds >= r_short.rounds
+
+    def test_empty_graph(self):
+        run = distributed_core_decomposition(Graph())
+        assert run.estimates == {}
+        assert run.rounds == 0
+
+    def test_max_rounds_cap(self):
+        g = small_random_graph(1)
+        run = distributed_core_decomposition(g, max_rounds=1)
+        assert run.rounds <= 1
+        # estimates only ever overestimate before convergence
+        truth = core_decomposition(g).coreness
+        assert all(run.estimates[u] >= truth[u] for u in g.vertices())
+
+    def test_message_accounting(self):
+        g = small_random_graph(2)
+        run = distributed_core_decomposition(g)
+        assert isinstance(run, DistributedRun)
+        assert len(run.messages_per_round) == run.rounds
+        assert run.total_messages == sum(run.messages_per_round)
+        # the first round broadcasts every estimate: one per endpoint
+        assert run.messages_per_round[0] == 2 * g.num_edges

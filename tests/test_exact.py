@@ -1,0 +1,59 @@
+"""Tests for the exhaustive exact solver."""
+
+import pytest
+
+from repro.anchors.exact import exact_anchored_coreness
+from repro.anchors.gac import gac
+from repro.core.decomposition import coreness_gain
+from repro.datasets.toy import figure2_graph, nonsubmodular_graph
+from repro.errors import BudgetError
+from repro.graphs.generators import clique
+
+from conftest import small_random_graph
+
+
+def test_single_anchor_optimum_figure2():
+    res = exact_anchored_coreness(figure2_graph(), 1)
+    assert res.gain == 4
+    assert res.anchors[0] in {2, 3}
+
+
+def test_finds_nonsubmodular_pair():
+    """Exact finds the {1, 6} synergy greedy cannot see."""
+    res = exact_anchored_coreness(nonsubmodular_graph(), 2)
+    assert res.gain == 4
+    assert set(res.anchors) == {1, 6}
+
+
+def test_exact_at_least_greedy():
+    for seed in range(4):
+        g = small_random_graph(seed, n=20, m=40)
+        greedy = gac(g, 2)
+        exact = exact_anchored_coreness(g, 2)
+        assert exact.gain >= greedy.total_gain, seed
+        assert exact.gain == coreness_gain(g, exact.anchors)
+
+
+def test_combination_count():
+    g = clique(5)
+    res = exact_anchored_coreness(g, 2)
+    assert res.combinations_tested == 10
+
+
+def test_budget_zero():
+    res = exact_anchored_coreness(clique(3), 0)
+    assert res.gain == 0
+    assert res.anchors == ()
+
+
+def test_budget_errors():
+    with pytest.raises(BudgetError):
+        exact_anchored_coreness(clique(3), 5)
+    with pytest.raises(BudgetError):
+        exact_anchored_coreness(clique(3), -1)
+
+
+def test_combination_guard():
+    g = small_random_graph(0, n=40, m=80)
+    with pytest.raises(BudgetError, match="max_combinations"):
+        exact_anchored_coreness(g, 10, max_combinations=100)

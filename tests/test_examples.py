@@ -1,0 +1,51 @@
+"""Smoke tests: the example scripts run end-to-end.
+
+Only the quick examples run here (the others exercise the same APIs at
+larger scale and are meant for humans); each is executed in-process by
+importing its module and calling ``main()``.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(name, None)
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run_example("quickstart", capsys)
+    assert "best single anchor: u2" in out
+    assert "verified total gain" in out
+
+
+def test_friendster_collapse(capsys):
+    out = _run_example("friendster_collapse", capsys)
+    assert "without protection" in out
+    assert "GAC" in out
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["reinforcement_campaign", "engagement_analysis", "model_comparison",
+     "attack_and_defend"],
+)
+def test_other_examples_importable(name):
+    """The longer examples at least parse and expose main()."""
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(module.main)

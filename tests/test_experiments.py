@@ -1,0 +1,189 @@
+"""Integration tests: each experiment runner produces the paper's shapes.
+
+These run the Section 5 experiments at tiny parameters and assert the
+qualitative claims (who wins, what pins where) rather than absolute
+numbers. They are the executable form of EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import (
+    RUNNERS,
+    ablation,
+    fig1,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    table4,
+    table6,
+    table7,
+    table8,
+)
+
+SMALL = ["brightkite"]
+
+
+class TestTable4:
+    def test_stats_and_ordering(self):
+        result = table4.run()
+        edges = [row["edges"] for row in result.data.values()]
+        assert edges == sorted(edges)
+        for stats in result.data.values():
+            assert stats["degree_max"] > 3 * stats["degree_avg"]
+        assert "Table 4" in result.format()
+
+
+class TestFig1:
+    def test_positive_correlation(self):
+        result = fig1.run(dataset="brightkite")
+        averages = result.data["averages"]
+        cores = sorted(averages)
+        low = averages[cores[0]]
+        high = max(averages[c] for c in cores[len(cores) // 2 :])
+        assert high > 2 * low
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6.run(
+            datasets=SMALL,
+            budget=8,
+            vary_datasets=("brightkite", "brightkite"),
+            vary_budgets=(2, 8),
+        )
+
+    def test_gac_dominates_every_heuristic(self, result):
+        gains = result.data["fixed_budget"]["brightkite"]
+        assert gains["GAC"] > gains["SD"]
+        assert gains["GAC"] > gains["Deg"]
+        assert gains["GAC"] > gains["Deg-C"]
+        assert gains["GAC"] > gains["Rand"]
+
+    def test_gain_grows_with_budget(self, result):
+        by_budget = result.data["by_budget"]["brightkite"]["GAC"]
+        assert by_budget[8] >= by_budget[2]
+
+
+class TestFig7:
+    def test_gac_near_optimal_and_fast(self):
+        result = fig7.run(
+            datasets=("brightkite",), budgets=(1, 2), samples=2, sample_size=35
+        )
+        for b, row in result.data["brightkite"].items():
+            assert row["ratio"] >= 0.7, b  # the paper's headline bound
+            if b >= 2:
+                assert row["time_exact"] > row["time_gac"]
+
+
+class TestTable6:
+    def test_anchor_profile(self):
+        result = table6.run(datasets=SMALL, budget=8)
+        chars = result.data["brightkite"]
+        # structure only: the percentile statistics are well-formed and
+        # consistent. The paper's ~0.8 percentile shape is checked at a
+        # realistic budget in bench_table6_anchors (see EXPERIMENTS.md
+        # T6 for the replica deviation).
+        for p in (chars.p_degree, chars.p_coreness, chars.p_successive_degree):
+            assert 0.0 < p < 1.0
+        assert chars.degree_avg > 0
+
+
+class TestTable7:
+    def test_tie_breaks_similar(self):
+        result = table7.run(datasets=SMALL, budget=8)
+        row = result.data["brightkite"]
+        gains = [row["gain_ub"], row["gain_dg"], row["gain_rd"]]
+        assert max(gains) <= 1.6 * min(gains)
+        assert 0 <= row["jaccard_dg"] <= 1
+
+
+class TestFig8:
+    def test_olak_anchors_pinned_below_k(self):
+        result = fig8.run(dataset="brightkite", budget=8, olak_ks=(5,))
+        olak_dist = result.data["distributions"]["OLAK5"]
+        assert all(c < 5 for c in olak_dist)
+        gac_dist = result.data["distributions"]["GAC"]
+        # GAC anchors reach past OLAK's k-1 ceiling
+        assert max(gac_dist) > max(olak_dist)
+
+
+class TestFig9:
+    def test_monthly_growth_and_metrics(self):
+        result = fig9.run(dataset="brightkite", months=6, k_values=(3,))
+        months = result.data["months"]
+        assert len(months) == 6
+        assert months[-1]["users"] > months[0]["users"]
+        assert all(0 <= m["kcore3_frac"] <= 1 for m in months)
+
+
+class TestFig10:
+    def test_sweep_and_variation(self):
+        result = fig10.run(datasets=("brightkite",), budget=6, k_step=4)
+        gains = result.data["brightkite"]
+        assert len(gains) >= 2
+        assert all(g >= 0 for g in gains.values())
+
+
+class TestTable8:
+    def test_olak_below_gac(self):
+        result = table8.run(datasets=SMALL, budget=8, k_step=4)
+        row = result.data["brightkite"]
+        assert row["max_pct"] <= 1.0
+        assert row["avg_pct"] <= row["max_pct"]
+
+
+class TestFig11:
+    def test_follower_distributions(self):
+        result = fig11.run(dataset="brightkite", budget=8, olak_ks=(5,))
+        olak_dist = result.data["distributions"]["OLAK5"]
+        # OLAK(k) followers sit exactly at coreness k-1
+        assert set(olak_dist) <= {4}
+        assert result.data["spreads"]["GAC"] >= 2
+
+
+class TestFig12And13:
+    @pytest.fixture(scope="class")
+    def runtime_result(self):
+        return fig12.run(datasets=SMALL, budget=5, include_baseline=True,
+                         baseline_dataset="brightkite", baseline_budget=1)
+
+    def test_baseline_slowest_per_iteration(self, runtime_result):
+        per_iter = runtime_result.data["baseline_per_iteration"]
+        assert per_iter["Baseline"] > 3 * per_iter["GAC-U-R"]
+
+    def test_counters_ordering(self):
+        result = fig13.run(datasets=SMALL, budget=5)
+        nodes = result.data["nodes"]["brightkite"]
+        # reuse explores no more than no-reuse; pruning no more than reuse
+        assert nodes["GAC-U"] <= nodes["GAC-U-R"]
+        assert nodes["GAC"] <= nodes["GAC-U"]
+        pruned = result.data["pruned"]["brightkite"]
+        assert pruned["GAC"] > 0
+        assert pruned["GAC-U"] == 0
+
+
+class TestAblation:
+    def test_metrics(self):
+        result = ablation.run(dataset="brightkite", budget=4, follower_sample=60)
+        assert result.data["mean_ub_ratio"] >= 1.0
+        assert 0 <= result.data["cache_hit_rate"] <= 1
+        assert result.data["follower_speedup"] > 1
+
+
+class TestRegistry:
+    def test_all_runners_registered(self):
+        assert set(RUNNERS) == {
+            "table4", "fig1", "fig6", "fig7", "table6", "table7", "fig8",
+            "fig9", "fig10", "table8", "fig11", "fig12", "fig13", "ablation",
+        }
+
+    def test_result_format_is_text(self):
+        result = fig1.run(dataset="brightkite")
+        text = result.format()
+        assert "fig1" in text and "coreness" in text

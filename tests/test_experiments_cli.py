@@ -1,0 +1,25 @@
+"""Tests for the ``python -m repro.experiments`` entry point."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+def test_runs_single_experiment(capsys):
+    assert main(["fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "=== fig1 ===" in out
+    assert "finished in" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["not-an-experiment"])
+
+
+def test_choices_cover_registry():
+    from repro.experiments import RUNNERS
+
+    # 'all' plus every runner id must be accepted by the parser
+    for name in RUNNERS:
+        assert name  # non-empty ids keep argparse choices meaningful

@@ -1,0 +1,125 @@
+"""Tests for the METIS / JSON serialization formats and the disk cache."""
+
+import pytest
+
+from repro.datasets.cache import cache_path, clear_cache, load_cached
+from repro.errors import ParseError
+from repro.graphs.formats import (
+    read_adjacency_json,
+    read_metis,
+    write_adjacency_json,
+    write_metis,
+)
+from repro.graphs.graph import Graph
+
+from conftest import small_random_graph
+
+
+class TestMetis:
+    def test_roundtrip(self, tmp_path):
+        g = small_random_graph(1)
+        path = tmp_path / "g.metis"
+        mapping = write_metis(g, path)
+        back = read_metis(path)
+        assert back.num_vertices == g.num_vertices
+        assert back.num_edges == g.num_edges
+        # structure preserved under the relabelling
+        for u, v in g.edges():
+            mu = next(i for i, w in mapping.items() if w == u)
+            mv = next(i for i, w in mapping.items() if w == v)
+            assert back.has_edge(mu, mv)
+
+    def test_header(self, tmp_path, triangle):
+        path = tmp_path / "t.metis"
+        write_metis(triangle, path)
+        assert path.read_text().splitlines()[0] == "3 3"
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "e.metis"
+        path.write_text("")
+        with pytest.raises(ParseError, match="empty"):
+            read_metis(path)
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "b.metis"
+        path.write_text("3\n1 2\n1\n2\n")
+        with pytest.raises(ParseError, match="header"):
+            read_metis(path)
+
+    def test_line_count_mismatch(self, tmp_path):
+        path = tmp_path / "c.metis"
+        path.write_text("3 2\n2\n1\n")
+        with pytest.raises(ParseError, match="adjacency lines"):
+            read_metis(path)
+
+    def test_neighbor_out_of_range(self, tmp_path):
+        path = tmp_path / "d.metis"
+        path.write_text("2 1\n2\n5\n")
+        with pytest.raises(ParseError, match="out of range"):
+            read_metis(path)
+
+    def test_edge_count_mismatch(self, tmp_path):
+        path = tmp_path / "f.metis"
+        path.write_text("2 5\n2\n1\n")
+        with pytest.raises(ParseError, match="m=5"):
+            read_metis(path)
+
+    def test_comment_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("% a comment\n2 1\n2\n1\n")
+        assert read_metis(path).num_edges == 1
+
+
+class TestAdjacencyJson:
+    def test_roundtrip(self, tmp_path):
+        g = small_random_graph(2)
+        path = tmp_path / "g.json"
+        write_adjacency_json(g, path)
+        assert read_adjacency_json(path) == g
+
+    def test_isolated_vertices_survive(self, tmp_path):
+        g = Graph()
+        g.add_vertex(7)
+        g.add_edge(1, 2)
+        path = tmp_path / "iso.json"
+        write_adjacency_json(g, path)
+        assert read_adjacency_json(path) == g
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text("not json")
+        with pytest.raises(ParseError, match="invalid JSON"):
+            read_adjacency_json(path)
+
+    def test_wrong_shape(self, tmp_path):
+        path = tmp_path / "y.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ParseError, match="object"):
+            read_adjacency_json(path)
+
+    def test_non_list_adjacency(self, tmp_path):
+        path = tmp_path / "z.json"
+        path.write_text('{"1": 5}')
+        with pytest.raises(ParseError, match="not a list"):
+            read_adjacency_json(path)
+
+
+class TestDatasetCache:
+    def test_miss_then_hit(self, tmp_path):
+        first = load_cached("brightkite", cache_dir=tmp_path)
+        assert cache_path("brightkite", cache_dir=tmp_path).exists()
+        second = load_cached("brightkite", cache_dir=tmp_path)
+        assert first == second
+
+    def test_cache_keyed_by_recipe(self, tmp_path):
+        path = cache_path("brightkite", cache_dir=tmp_path)
+        assert "brightkite-" in path.name
+        assert path.suffix == ".json"
+
+    def test_clear(self, tmp_path):
+        load_cached("brightkite", cache_dir=tmp_path)
+        assert clear_cache(cache_dir=tmp_path) == 1
+        assert clear_cache(cache_dir=tmp_path) == 0
+
+    def test_clear_missing_dir(self, tmp_path):
+        assert clear_cache(cache_dir=tmp_path / "nope") == 0

@@ -1,0 +1,134 @@
+"""Unit tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.graphs.generators import (
+    attach_celebrity_fans,
+    barabasi_albert_graph,
+    chung_lu_graph,
+    clique,
+    dense_core_overlay,
+    disjoint_union,
+    gnm_random_graph,
+    powerlaw_degree_weights,
+    powerlaw_social_graph,
+    watts_strogatz_graph,
+)
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        g = gnm_random_graph(30, 50, seed=1)
+        assert g.num_vertices == 30
+        assert g.num_edges == 50
+
+    def test_deterministic(self):
+        a = gnm_random_graph(30, 50, seed=1)
+        b = gnm_random_graph(30, 50, seed=1)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = gnm_random_graph(30, 50, seed=1)
+        b = gnm_random_graph(30, 50, seed=2)
+        assert a != b
+
+    def test_too_many_edges(self):
+        with pytest.raises(ValueError):
+            gnm_random_graph(4, 7, seed=0)
+
+
+class TestBarabasiAlbert:
+    def test_size_and_edges(self):
+        g = barabasi_albert_graph(50, 3, seed=0)
+        assert g.num_vertices == 50
+        assert g.num_edges == (50 - 3) * 3
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(5, 5, seed=0)
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(5, 0, seed=0)
+
+    def test_heavy_tail(self):
+        g = barabasi_albert_graph(300, 2, seed=3)
+        assert g.max_degree() > 4 * g.average_degree()
+
+
+class TestChungLu:
+    def test_weights_mean(self):
+        w = powerlaw_degree_weights(1000, exponent=2.5, average_degree=8.0)
+        assert sum(w) / len(w) == pytest.approx(8.0)
+
+    def test_weights_cap(self):
+        w = powerlaw_degree_weights(100, 2.5, 8.0, max_weight=20.0)
+        assert max(w) <= 20.0
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            powerlaw_degree_weights(10, 2.0, 5.0)
+
+    def test_average_degree_close(self):
+        g = powerlaw_social_graph(2000, 8.0, seed=5)
+        # Chung-Lu matches expected degrees up to clipping losses.
+        assert 5.0 < g.average_degree() < 10.0
+
+    def test_deterministic(self):
+        assert powerlaw_social_graph(200, 6.0, seed=9) == powerlaw_social_graph(
+            200, 6.0, seed=9
+        )
+
+    def test_empty_weights(self):
+        g = chung_lu_graph([0.0, 0.0, 0.0], seed=0)
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+
+
+class TestOverlayAndFans:
+    def test_overlay_adds_edges(self):
+        g = powerlaw_social_graph(300, 5.0, seed=1)
+        before = g.num_edges
+        dense_core_overlay(g, num_groups=2, group_size=12, edge_probability=1.0, seed=2)
+        assert g.num_edges > before
+
+    def test_overlay_deepens_core(self):
+        from repro.core.decomposition import degeneracy
+
+        g1 = powerlaw_social_graph(300, 5.0, seed=1)
+        base = degeneracy(g1)
+        dense_core_overlay(g1, num_groups=2, group_size=14, edge_probability=1.0, seed=2)
+        assert degeneracy(g1) > base
+
+    def test_fans_raise_degree_not_coreness(self):
+        from repro.core.decomposition import core_decomposition
+
+        g = powerlaw_social_graph(400, 6.0, seed=4)
+        attach_celebrity_fans(g, num_hubs=2, fan_size=120, seed=5)
+        dec = core_decomposition(g)
+        top = max(g.vertices(), key=g.degree)
+        assert g.degree(top) >= 120
+        assert dec.coreness[top] < g.degree(top) / 4
+
+
+class TestWattsStrogatz:
+    def test_size(self):
+        g = watts_strogatz_graph(40, 4, 0.1, seed=0)
+        assert g.num_vertices == 40
+        assert g.num_edges == 80
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(10, 3, 0.1, seed=0)
+
+
+class TestBuildingBlocks:
+    def test_clique(self):
+        g = clique(5, first_label=10)
+        assert g.num_vertices == 5
+        assert g.num_edges == 10
+        assert all(g.degree(u) == 4 for u in g.vertices())
+
+    def test_disjoint_union(self):
+        u = disjoint_union(clique(3), clique(4))
+        assert u.num_vertices == 7
+        assert u.num_edges == 3 + 6
+        assert sorted(u.vertices()) == list(range(7))

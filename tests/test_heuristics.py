@@ -1,0 +1,77 @@
+"""Tests for the simple anchor heuristics (Table 5)."""
+
+import pytest
+
+from repro.anchors.heuristics import (
+    HEURISTICS,
+    degree_anchors,
+    degree_minus_coreness_anchors,
+    random_anchors,
+    successive_degree_anchors,
+)
+from repro.datasets.toy import figure2_graph
+from repro.errors import BudgetError
+from repro.graphs.generators import clique
+
+from conftest import small_random_graph
+
+
+class TestDegree:
+    def test_picks_top_degree(self):
+        g = figure2_graph()
+        top = degree_anchors(g, 2)
+        degrees = sorted((g.degree(u) for u in g.vertices()), reverse=True)
+        assert sorted(g.degree(u) for u in top) == sorted(degrees[:2])
+
+    def test_deterministic_tie_break_by_id(self):
+        g = clique(5)
+        assert degree_anchors(g, 2) == [0, 1]
+
+
+class TestDegMinusCoreness:
+    def test_prefers_slack(self):
+        # a star center has huge degree but coreness 1 -> top slack
+        g = clique(3)
+        for leaf in range(10, 20):
+            g.add_edge(0, leaf)
+        assert degree_minus_coreness_anchors(g, 1) == [0]
+
+
+class TestSuccessiveDegree:
+    def test_pendant_tail_scores(self):
+        g = figure2_graph()
+        anchors = successive_degree_anchors(g, 1)
+        # the winner must have at least one P-larger neighbor
+        assert len(anchors) == 1
+
+    def test_size(self):
+        g = small_random_graph(1)
+        assert len(successive_degree_anchors(g, 7)) == 7
+
+
+class TestRandom:
+    def test_seeded_deterministic(self):
+        g = small_random_graph(1)
+        assert random_anchors(g, 5, seed=3) == random_anchors(g, 5, seed=3)
+
+    def test_distinct_anchors(self):
+        g = small_random_graph(1)
+        anchors = random_anchors(g, 10, seed=0)
+        assert len(set(anchors)) == 10
+
+
+class TestValidation:
+    @pytest.mark.parametrize("fn", list(HEURISTICS.values()))
+    def test_budget_errors(self, fn):
+        g = clique(3)
+        kwargs = {"seed": 0} if fn is random_anchors else {}
+        with pytest.raises(BudgetError):
+            fn(g, 4, **kwargs)
+        with pytest.raises(BudgetError):
+            fn(g, -1, **kwargs)
+
+    @pytest.mark.parametrize("fn", list(HEURISTICS.values()))
+    def test_full_budget_allowed(self, fn):
+        g = clique(3)
+        kwargs = {"seed": 0} if fn is random_anchors else {}
+        assert len(fn(g, 3, **kwargs)) == 3

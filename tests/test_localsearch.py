@@ -1,0 +1,60 @@
+"""Tests for the swap-based local search polish."""
+
+import pytest
+
+from repro.anchors.gac import gac
+from repro.anchors.localsearch import local_search_polish
+from repro.core.decomposition import coreness_gain
+from repro.datasets.toy import figure2_graph, nonsubmodular_graph
+
+from conftest import small_random_graph
+
+
+class TestPolish:
+    def test_never_worse(self):
+        for seed in range(4):
+            g = small_random_graph(seed)
+            greedy = gac(g, 3, tie_break="id")
+            polished = local_search_polish(g, greedy.anchors, candidate_pool=10)
+            assert polished.final_gain >= polished.initial_gain
+            assert polished.initial_gain == greedy.total_gain
+
+    def test_final_gain_verified(self):
+        g = small_random_graph(1)
+        greedy = gac(g, 3)
+        polished = local_search_polish(g, greedy.anchors, candidate_pool=10)
+        assert polished.final_gain == coreness_gain(g, polished.anchors)
+
+    def test_escapes_bad_start(self):
+        """Starting from useless anchors, swaps recover real gain."""
+        g = figure2_graph()
+        # vertices 12, 13 (deep clique) gain nothing as anchors
+        polished = local_search_polish(g, [12, 13], candidate_pool=13)
+        assert polished.initial_gain == 0
+        assert polished.final_gain > 0
+        assert polished.swaps
+
+    def test_nonsubmodular_pair_reachable(self):
+        """From {1, 2}, swapping 2 -> 6 reaches the optimum {1, 6}."""
+        g = nonsubmodular_graph()
+        polished = local_search_polish(g, [1, 2], candidate_pool=6)
+        assert polished.final_gain == 4
+        assert set(polished.anchors) == {1, 6}
+
+    def test_size_preserved(self):
+        g = small_random_graph(2)
+        polished = local_search_polish(g, sorted(g.vertices())[:4])
+        assert len(polished.anchors) == 4
+
+    def test_duplicate_input_deduped(self):
+        g = figure2_graph()
+        polished = local_search_polish(g, [2, 2], candidate_pool=5)
+        assert len(polished.anchors) == 1
+
+    def test_max_rounds_cap(self):
+        g = small_random_graph(3)
+        polished = local_search_polish(
+            g, sorted(g.vertices())[:3], candidate_pool=10, max_rounds=0
+        )
+        assert polished.swaps == []
+        assert polished.improvement == 0

@@ -1,0 +1,72 @@
+"""Tests for the pair-lookahead greedy extension."""
+
+import pytest
+
+from repro.anchors.gac import gac
+from repro.anchors.lookahead import lookahead_anchored_coreness
+from repro.core.decomposition import coreness_gain
+from repro.datasets.toy import figure2_graph, nonsubmodular_graph
+from repro.errors import BudgetError
+
+from conftest import small_random_graph
+
+
+class TestNonSubmodularCase:
+    def test_finds_the_synergy_pair(self):
+        """Theorem 3.3's instance: only the pair {1, 6} gains anything."""
+        g = nonsubmodular_graph()
+        result = lookahead_anchored_coreness(g, 2, pair_pool=6)
+        assert result.total_gain == 4
+        assert set(result.anchors) == {1, 6}
+        assert result.pairs_taken == 1
+        assert result.selections == [(1, 6)]
+
+    def test_at_least_greedy(self):
+        g = nonsubmodular_graph()
+        greedy = gac(g, 2, tie_break="id")
+        look = lookahead_anchored_coreness(g, 2, pair_pool=6)
+        assert look.total_gain >= greedy.total_gain
+
+
+class TestAccounting:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_total_matches_definition(self, seed):
+        g = small_random_graph(seed)
+        result = lookahead_anchored_coreness(g, 3, pair_pool=5)
+        assert result.total_gain == coreness_gain(g, result.anchors)
+
+    def test_budget_consumed_exactly(self):
+        g = figure2_graph()
+        result = lookahead_anchored_coreness(g, 3, pair_pool=4)
+        assert len(result.anchors) == 3
+        assert sum(len(s) for s in result.selections) == 3
+
+    def test_single_budget_takes_no_pairs(self):
+        g = nonsubmodular_graph()
+        result = lookahead_anchored_coreness(g, 1, pair_pool=6)
+        assert result.pairs_taken == 0
+        assert len(result.anchors) == 1
+
+    def test_zero_pool_degrades_to_greedy_gains(self):
+        g = figure2_graph()
+        look = lookahead_anchored_coreness(g, 2, pair_pool=0)
+        greedy = gac(g, 2, tie_break="id")
+        assert look.total_gain == greedy.total_gain
+
+    def test_budget_validation(self):
+        with pytest.raises(BudgetError):
+            lookahead_anchored_coreness(figure2_graph(), -1)
+        with pytest.raises(BudgetError):
+            lookahead_anchored_coreness(figure2_graph(), 99)
+
+
+class TestComparison:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_never_worse_than_greedy_on_randoms(self, seed):
+        g = small_random_graph(seed, n=30, m=70)
+        greedy = gac(g, 4, tie_break="id")
+        look = lookahead_anchored_coreness(g, 4, pair_pool=6)
+        # the rate rule only switches to a pair when it strictly beats
+        # two greedy singles' first step; empirically it never loses on
+        # these instances (not a theorem — greedy paths can diverge)
+        assert look.total_gain >= greedy.total_gain - 1

@@ -1,0 +1,124 @@
+"""Tests for incremental core maintenance against the recompute oracle."""
+
+import random
+
+import pytest
+
+from repro.core.maintenance import CoreMaintainer
+from repro.graphs.generators import clique, gnm_random_graph
+from repro.graphs.graph import Graph
+
+from conftest import small_random_graph
+
+
+class TestInsert:
+    def test_pendant_completion(self):
+        # closing a pendant path into a cycle lifts the path to coreness 2
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        m = CoreMaintainer(g)
+        risen = m.insert_edge(3, 0)
+        assert risen == {0, 1, 2, 3}
+        assert all(m.coreness[u] == 2 for u in range(4))
+        m.validate()
+
+    def test_new_vertices_created(self):
+        m = CoreMaintainer(Graph.from_edges([(0, 1)]))
+        m.insert_edge(5, 6)
+        assert m.coreness[5] == m.coreness[6] == 1
+        m.validate()
+
+    def test_no_rise_when_support_lacking(self):
+        # joining two disjoint edges into a path lifts nobody
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        m = CoreMaintainer(g)
+        risen = m.insert_edge(1, 2)
+        assert risen == set()
+        assert all(m.coreness[u] == 1 for u in range(4))
+        m.validate()
+
+    def test_new_leaf_rises_to_one(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        m = CoreMaintainer(g)
+        risen = m.insert_edge(2, 3)
+        assert risen == {3}
+        assert m.coreness[3] == 1
+        m.validate()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_insert_sequence(self, seed):
+        rng = random.Random(seed)
+        g = small_random_graph(seed, n=30, m=45)
+        m = CoreMaintainer(g)
+        vertices = sorted(g.vertices())
+        inserted = 0
+        while inserted < 20:
+            u, v = rng.sample(vertices, 2)
+            if not m.graph.has_edge(u, v):
+                m.insert_edge(u, v)
+                m.validate()
+                inserted += 1
+
+
+class TestRemove:
+    def test_cycle_break(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        m = CoreMaintainer(g)
+        dropped = m.remove_edge(0, 1)
+        assert dropped == {0, 1, 2, 3}
+        assert all(m.coreness[u] == 1 for u in range(4))
+        m.validate()
+
+    def test_clique_edge_removal(self):
+        m = CoreMaintainer(clique(5))
+        dropped = m.remove_edge(0, 1)
+        # removing one edge of K5 drops everyone from 4 to 3
+        assert dropped == {0, 1, 2, 3, 4}
+        m.validate()
+
+    def test_leaf_edge_removal(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        m = CoreMaintainer(g)
+        dropped = m.remove_edge(2, 3)
+        assert dropped == {3}
+        assert m.coreness[3] == 0
+        m.validate()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_remove_sequence(self, seed):
+        rng = random.Random(seed)
+        g = small_random_graph(seed, n=30, m=70)
+        m = CoreMaintainer(g)
+        edges = sorted((min(u, v), max(u, v)) for u, v in g.edges())
+        for u, v in rng.sample(edges, 20):
+            m.remove_edge(u, v)
+            m.validate()
+
+
+class TestMixedWorkload:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_interleaved_edits(self, seed):
+        rng = random.Random(seed)
+        g = gnm_random_graph(25, 50, seed)
+        m = CoreMaintainer(g)
+        for _ in range(30):
+            u, v = rng.sample(range(25), 2)
+            if m.graph.has_edge(u, v):
+                m.remove_edge(u, v)
+            else:
+                m.insert_edge(u, v)
+            m.validate()
+
+    def test_maintainer_owns_copy(self):
+        g = Graph.from_edges([(0, 1)])
+        m = CoreMaintainer(g)
+        m.insert_edge(1, 2)
+        assert 2 not in g  # original untouched
+
+    def test_insert_then_remove_roundtrip(self):
+        g = small_random_graph(3)
+        m = CoreMaintainer(g)
+        before = dict(m.coreness)
+        m.insert_edge(0, 999)
+        m.remove_edge(0, 999)
+        for u in g.vertices():
+            assert m.coreness[u] == before[u]

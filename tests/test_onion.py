@@ -1,0 +1,58 @@
+"""Tests for the onion spectrum."""
+
+import pytest
+
+from repro.analysis.onion import onion_spectrum
+from repro.core.decomposition import peel_decomposition
+from repro.datasets.toy import figure5b_graph
+from repro.graphs.generators import clique
+from repro.graphs.graph import Graph
+
+from conftest import small_random_graph
+
+
+class TestSpectrum:
+    def test_figure5b_layers(self):
+        spectrum = onion_spectrum(figure5b_graph())
+        assert spectrum.layer_sizes == {
+            (1, 1): 1,  # u1
+            (2, 1): 3,  # u2, u3, u4
+            (2, 2): 2,  # u5, u6
+            (3, 1): 4,  # the K4
+        }
+        assert spectrum.total_layers == 4
+        assert spectrum.shell_profile(2) == [3, 2]
+        assert spectrum.layers_per_shell() == {1: 1, 2: 2, 3: 1}
+
+    def test_clique_single_layer(self):
+        spectrum = onion_spectrum(clique(6))
+        assert spectrum.layer_sizes == {(5, 1): 6}
+        assert spectrum.mean_layer_depth() == pytest.approx(1.0)
+
+    def test_path_peels_from_both_ends(self):
+        g = Graph.from_edges([(i, i + 1) for i in range(6)])
+        spectrum = onion_spectrum(g)
+        # a path is one shell peeled two-vertices-at-a-time from the ends
+        assert spectrum.shell_profile(1) == [2, 2, 2, 1]
+        assert spectrum.mean_layer_depth() > 1.5
+
+    def test_counts_cover_all_vertices(self):
+        g = small_random_graph(3)
+        spectrum = onion_spectrum(g)
+        assert sum(spectrum.layer_sizes.values()) == g.num_vertices
+
+    def test_reuses_given_decomposition(self):
+        g = small_random_graph(4)
+        dec = peel_decomposition(g)
+        assert onion_spectrum(g, dec).layer_sizes == onion_spectrum(g).layer_sizes
+
+    def test_anchors_excluded(self):
+        g = figure5b_graph()
+        dec = peel_decomposition(g, anchors={1})
+        spectrum = onion_spectrum(g, dec)
+        assert sum(spectrum.layer_sizes.values()) == g.num_vertices - 1
+
+    def test_empty_graph(self):
+        spectrum = onion_spectrum(Graph())
+        assert spectrum.layer_sizes == {}
+        assert spectrum.mean_layer_depth() == 0.0

@@ -1,0 +1,29 @@
+"""Smoke test for the paper-scale script at a toy budget."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+SCRIPTS = Path(__file__).parent.parent / "scripts"
+
+
+def test_paper_scale_script_runs(tmp_path, capsys, monkeypatch):
+    spec = importlib.util.spec_from_file_location(
+        "paper_scale", SCRIPTS / "paper_scale.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["paper_scale"] = module
+    report = tmp_path / "paper_scale.txt"
+    try:
+        spec.loader.exec_module(module)
+        assert (
+            module.main(["--budget", "3", "--datasets", "brightkite",
+                         "--olak-k-step", "8", "--output", str(report)])
+            == 0
+        )
+    finally:
+        sys.modules.pop("paper_scale", None)
+    out = capsys.readouterr().out
+    assert "Figure 6(a) at b=3" in out
+    assert "Brightkite" in out
+    assert report.exists()

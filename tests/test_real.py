@@ -1,0 +1,81 @@
+"""Tests for the real-dataset loaders (against synthetic fixture files)."""
+
+import gzip
+
+import pytest
+
+from repro.datasets.real import align_checkins, load_checkin_counts, load_real_graph
+from repro.errors import ParseError
+
+
+@pytest.fixture
+def snap_edges(tmp_path):
+    path = tmp_path / "loc-test_edges.txt"
+    path.write_text("# SNAP-style dump\n0\t1\n1\t0\n1\t2\n2\t3\n")
+    return path
+
+
+@pytest.fixture
+def checkin_log(tmp_path):
+    path = tmp_path / "loc-test_totalCheckins.txt"
+    rows = [
+        "0\t2010-10-19T23:55:27Z\t30.23\t-97.79\t22847",
+        "0\t2010-10-18T22:17:43Z\t30.26\t-97.76\t420315",
+        "1\t2010-10-17T23:42:03Z\t30.26\t-97.74\t316637",
+        "5\t2010-10-16T10:00:00Z\t30.26\t-97.74\t316637",
+    ]
+    path.write_text("\n".join(rows) + "\n")
+    return path
+
+
+class TestGraphLoader:
+    def test_directed_dump_deduplicated(self, snap_edges):
+        g = load_real_graph(snap_edges)
+        assert g.num_vertices == 4
+        assert g.num_edges == 3  # 0-1 listed both ways
+
+    def test_gzip(self, tmp_path):
+        path = tmp_path / "e.txt.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("1 2\n")
+        assert load_real_graph(path).num_edges == 1
+
+
+class TestCheckinLoader:
+    def test_counts(self, checkin_log):
+        counts = load_checkin_counts(checkin_log)
+        assert counts == {0: 2, 1: 1, 5: 1}
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("# header\n3\tx\n3\ty\n")
+        assert load_checkin_counts(path) == {3: 2}
+
+    def test_bad_user_id(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("abc\t2010\n")
+        with pytest.raises(ParseError, match="non-integer user"):
+            load_checkin_counts(path)
+
+
+class TestAlignment:
+    def test_align(self, snap_edges, checkin_log):
+        g = load_real_graph(snap_edges)
+        counts = load_checkin_counts(checkin_log)
+        aligned = align_checkins(g, counts)
+        # user 5 (no edges) dropped; users 2, 3 (no check-ins) get 0
+        assert aligned == {0: 2, 1: 1, 2: 0, 3: 0}
+
+    def test_missing_default(self, snap_edges):
+        g = load_real_graph(snap_edges)
+        aligned = align_checkins(g, {}, missing=7)
+        assert set(aligned.values()) == {7}
+
+    def test_feeds_figure1_analysis(self, snap_edges, checkin_log):
+        """The aligned counts drop into the Figure 1 pipeline."""
+        from repro.datasets.checkins import average_checkins_by_coreness
+
+        g = load_real_graph(snap_edges)
+        aligned = align_checkins(g, load_checkin_counts(checkin_log))
+        averages = average_checkins_by_coreness(g, aligned)
+        assert set(averages) == {1}  # the fixture graph is a tree

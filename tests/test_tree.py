@@ -1,0 +1,152 @@
+"""Unit tests for the core component tree and its adjacency structures."""
+
+import pytest
+
+from repro.core.decomposition import peel_decomposition
+from repro.core.tree import CoreComponentTree, TreeAdjacency
+from repro.datasets.toy import figure2_graph, figure5b_graph
+from repro.graphs.generators import clique, disjoint_union
+from repro.graphs.graph import Graph
+
+from conftest import small_random_graph
+
+
+def build(graph, anchors=()):
+    dec = peel_decomposition(graph, anchors)
+    tree = CoreComponentTree.build(graph, dec)
+    return dec, tree
+
+
+class TestStructure:
+    def test_figure5b_nodes(self):
+        g = figure5b_graph()
+        dec, tree = build(g)
+        # three nodes: {1} at k=1, {2..6} at k=2, {7..10} at k=3
+        assert len(tree.nodes) == 3
+        assert tree.node_of[1].k == 1 and tree.node_of[1].vertices == {1}
+        assert tree.node_of[2].vertices == {2, 3, 4, 5, 6}
+        assert tree.node_of[7].vertices == {7, 8, 9, 10}
+        assert tree.node_of[2].node_id == 2
+        assert tree.node_of[7].node_id == 7
+
+    def test_figure5b_hierarchy(self):
+        g = figure5b_graph()
+        _, tree = build(g)
+        root = tree.roots[0]
+        assert root.k == 1
+        assert [c.k for c in root.children] == [2]
+        assert [c.k for c in root.children[0].children] == [3]
+
+    def test_subtree_vertices(self):
+        g = figure5b_graph()
+        _, tree = build(g)
+        assert tree.node_of[2].subtree_vertices() == {2, 3, 4, 5, 6, 7, 8, 9, 10}
+        assert tree.node_of[7].subtree_vertices() == {7, 8, 9, 10}
+
+    def test_forest_on_disconnected_graph(self):
+        g = disjoint_union(clique(4), clique(3))
+        _, tree = build(g)
+        assert len(tree.roots) == 2
+        assert sorted(root.k for root in tree.roots) == [2, 3]
+
+    def test_skipped_coreness_levels(self):
+        # a 4-clique with a pendant: k jumps from 1 straight to 3
+        g = clique(4)
+        g.add_edge(0, 99)
+        _, tree = build(g)
+        root = tree.roots[0]
+        assert root.k == 1
+        assert root.children[0].k == 3
+
+    def test_two_components_same_core(self):
+        # two 4-cliques joined by a path: the 3-core splits in two
+        # (a 2-core never can — leaf pruning preserves connectivity)
+        g = disjoint_union(clique(4), clique(4))
+        g.add_edge(0, 100)
+        g.add_edge(100, 4)
+        _, tree = build(g)
+        k3_nodes = [n for n in tree.all_nodes() if n.k == 3]
+        assert len(k3_nodes) == 2
+        assert {frozenset(n.vertices) for n in k3_nodes} == {
+            frozenset({0, 1, 2, 3}),
+            frozenset({4, 5, 6, 7}),
+        }
+        # both hang off the same root that holds the bridge vertex
+        assert k3_nodes[0].parent is k3_nodes[1].parent
+        assert k3_nodes[0].parent.vertices == {100}
+        assert k3_nodes[0].parent.k == 2
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_validate_on_random(self, seed):
+        g = small_random_graph(seed)
+        dec, tree = build(g)
+        tree.validate(g, dec)
+
+    def test_validate_with_anchors(self):
+        g = small_random_graph(2)
+        dec, tree = build(g, anchors={0, 7})
+        tree.validate(g, dec)
+
+    def test_node_id_of(self):
+        g = figure5b_graph()
+        _, tree = build(g)
+        assert tree.node_id_of(9) == 7
+
+
+class TestAdjacency:
+    def test_figure5b_tca(self):
+        g = figure5b_graph()
+        dec, tree = build(g)
+        adj = TreeAdjacency(g, dec, tree)
+        assert adj.tca[2] == {1: {1}, 2: {5, 6}}
+        assert adj.tca[5] == {2: {2}, 7: {7, 8}}
+        assert adj.tca[1] == {2: {2}}
+
+    def test_figure5b_sn_pn(self):
+        g = figure5b_graph()
+        dec, tree = build(g)
+        adj = TreeAdjacency(g, dec, tree)
+        assert adj.sn[1] == {2}
+        assert adj.pn[1] == set()
+        assert adj.sn[2] == {2}
+        assert adj.pn[2] == {1}
+        assert adj.sn[5] == {2, 7}
+        assert adj.sn[7] == {7}
+        assert adj.pn[7] == {2}
+
+    def test_sn_pn_partition_neighbor_nodes(self):
+        g = small_random_graph(4)
+        dec, tree = build(g)
+        adj = TreeAdjacency(g, dec, tree)
+        for u in g.vertices():
+            neighbor_nodes = {tree.node_id_of(v) for v in g.neighbors(u)}
+            assert adj.sn[u] | adj.pn[u] == neighbor_nodes
+            # a node is in both only if it holds neighbors on both sides
+            for nid in adj.sn[u] & adj.pn[u]:
+                corenesses = {dec.coreness[v] for v in adj.tca[u][nid]}
+                assert any(c >= dec.coreness[u] for c in corenesses)
+                assert any(c < dec.coreness[u] for c in corenesses)
+
+    def test_figure2_tree(self):
+        g = figure2_graph()
+        dec, tree = build(g)
+        tree.validate(g, dec)
+        assert tree.node_of[9].vertices == {9, 10, 11, 12, 13}
+        assert tree.node_of[6].vertices == {6, 7, 8}
+        assert tree.node_of[6].parent is tree.node_of[2]
+
+    def test_anchor_not_placed_but_connects(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        dec, tree = build(g, anchors={3})
+        # anchors are members of no tree node...
+        assert 3 not in tree.node_of
+        assert all(3 not in node.vertices for node in tree.all_nodes())
+        # ...but they connect: two triangles joined only through the
+        # anchor form a single 2-core component (one tree node)
+        g2 = Graph.from_edges(
+            [(0, 1), (1, 2), (0, 2), (10, 11), (11, 12), (10, 12), (2, 5), (5, 10)]
+        )
+        dec2, tree2 = build(g2, anchors={5})
+        k2_nodes = [n for n in tree2.all_nodes() if n.k == 2]
+        assert len(k2_nodes) == 1
+        assert k2_nodes[0].vertices == {0, 1, 2, 10, 11, 12}
