@@ -22,7 +22,7 @@ def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
     cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
     vx = sum((x - mx) ** 2 for x in xs) ** 0.5
     vy = sum((y - my) ** 2 for y in ys) ** 0.5
-    if vx == 0.0 or vy == 0.0:
+    if vx == 0.0 or vy == 0.0:  # lint: float-eq-ok exact-zero degenerate guard
         return 0.0
     return cov / (vx * vy)
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from repro.anchors.state import AnchoredState
 from repro.core.tree import NodeId
 from repro.graphs.graph import Vertex
+from repro.lint.markers import pure
 
 
 @dataclass
@@ -38,6 +39,7 @@ class UpperBounds:
     total: dict[Vertex, int] = field(default_factory=dict)
 
 
+@pure
 def compute_upper_bounds(state: AnchoredState) -> UpperBounds:
     """Equations 1-3 for every non-anchor vertex of the current state."""
     graph = state.graph
@@ -52,7 +54,7 @@ def compute_upper_bounds(state: AnchoredState) -> UpperBounds:
     for u in sorted(candidates, key=lambda v: pairs[v], reverse=True):
         ku, iu = pairs[u]
         acc = 0
-        for v in graph.neighbors(u):
+        for v in graph.neighbors(u):  # lint: order-ok commutative sum accumulation
             if v in anchors:
                 continue
             kv, iv = pairs[v]
@@ -65,7 +67,7 @@ def compute_upper_bounds(state: AnchoredState) -> UpperBounds:
         i_u = node_of[u].node_id
         parts: dict[NodeId, int] = {i_u: own[u]}
         tca_u = state.tca(u)
-        for nid in state.sn(u):
+        for nid in state.sn(u):  # lint: order-ok parts feed an order-free sum
             if nid == i_u:
                 continue
             parts[nid] = sum(own[v] + 1 for v in tca_u[nid] if v not in anchors)
@@ -74,6 +76,7 @@ def compute_upper_bounds(state: AnchoredState) -> UpperBounds:
     return bounds
 
 
+@pure
 def refined_total(
     u: Vertex,
     bounds: UpperBounds,

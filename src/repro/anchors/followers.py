@@ -22,6 +22,8 @@ from repro.anchors.state import AnchoredState
 from repro.core.decomposition import CoreDecomposition, _sort_key, core_decomposition
 from repro.core.tree import NodeId
 from repro.graphs.graph import Graph, Vertex
+from repro.lint.markers import pure
+from repro.verify import enabled as _verify_enabled
 
 # Exploration status tags. UNEXPLORED is represented by absence.
 _IN_HEAP = 1
@@ -68,11 +70,12 @@ class FollowerReport:
     def all_members(self) -> set[Vertex]:
         """Union of explored follower sets (valid when nothing was reused)."""
         result: set[Vertex] = set()
-        for group in self.members.values():
+        for group in self.members.values():  # lint: order-ok set union is commutative
             result |= group
         return result
 
 
+@pure
 def find_followers(
     state: AnchoredState,
     x: Vertex,
@@ -118,9 +121,16 @@ def find_followers(
             counters.explored_nodes += 1
     if counters is not None:
         counters.evaluated_candidates += 1
+    # With nothing reused and no shell restriction the report is complete:
+    # cross-validate it against a full re-decomposition when verifying.
+    if _verify_enabled() and not reusable_counts and only_coreness is None:
+        from repro.verify.invariants import verify_follower_report
+
+        verify_follower_report(state, x, report.total, report.all_members())
     return report
 
 
+@pure
 def _explore_node(
     state: AnchoredState,
     x: Vertex,
@@ -218,6 +228,7 @@ def _shrink(
                     stack.append(v)
 
 
+@pure
 def followers_naive(
     graph: Graph,
     x: Vertex,

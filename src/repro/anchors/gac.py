@@ -39,6 +39,8 @@ from repro.anchors.state import AnchoredState
 from repro.core.decomposition import _sort_key
 from repro.errors import BudgetError
 from repro.graphs.graph import Graph, Vertex
+from repro.verify import enabled as _verify_enabled
+from repro.verify import verification as _verification
 
 TieBreak = Literal["ub", "degree", "random", "id"]
 FollowerMethod = Literal["tree", "naive"]
@@ -113,6 +115,7 @@ def greedy_anchored_coreness(
     seed: int | None = None,
     initial_anchors: Iterable[Vertex] = (),
     time_limit: float | None = None,
+    verify: bool | None = None,
 ) -> GreedyResult:
     """Run the greedy heuristic for the anchored coreness problem.
 
@@ -131,6 +134,8 @@ def greedy_anchored_coreness(
             and from gain counting).
         time_limit: optional wall-clock cap in seconds; the run stops
             early with ``truncated=True`` once exceeded.
+        verify: force the runtime invariant checks on (``True``) or off
+            (``False``) for this run; ``None`` defers to ``REPRO_VERIFY``.
 
     Raises:
         BudgetError: if ``budget`` is negative or exceeds the number of
@@ -149,6 +154,35 @@ def greedy_anchored_coreness(
         use_upper_bounds = False
     rng = random.Random(seed)
     start = time.perf_counter()
+    with _verification(verify):
+        return _run_greedy(
+            graph,
+            budget,
+            initial=initial,
+            use_upper_bounds=use_upper_bounds,
+            reuse=reuse,
+            follower_method=follower_method,
+            tie_break=tie_break,
+            rng=rng,
+            time_limit=time_limit,
+            start=start,
+        )
+
+
+def _run_greedy(
+    graph: Graph,
+    budget: int,
+    *,
+    initial: frozenset[Vertex],
+    use_upper_bounds: bool,
+    reuse: bool,
+    follower_method: FollowerMethod,
+    tie_break: TieBreak,
+    rng: random.Random,
+    time_limit: float | None,
+    start: float,
+) -> GreedyResult:
+    """The greedy loop proper (runs inside the verification context)."""
 
     state = AnchoredState.build(graph, initial)
     # Baseline corenesses: marginal gains are |F(x)| minus the gain x
@@ -178,6 +212,12 @@ def greedy_anchored_coreness(
         )
         if best is None:
             break
+        # Pruning soundness: the chosen candidate must be a true argmax
+        # over ALL candidates — the upper bound never hid a better one.
+        if _verify_enabled():
+            from repro.verify.invariants import verify_selection
+
+            verify_selection(state, base_coreness, best, best_gain)
         result.anchors.append(best)
         result.gains.append(best_gain)
         result.followers[best] = _follower_set(state, best, follower_method)
@@ -198,6 +238,10 @@ def greedy_anchored_coreness(
             cache.forget(best)
         else:
             cache.clear()
+    if _verify_enabled():
+        from repro.verify.invariants import verify_greedy_total
+
+        verify_greedy_total(graph, initial, result.anchors, result.total_gain)
     return result
 
 

@@ -54,7 +54,7 @@ def apply_anchor(
     removals: dict[Vertex, set[NodeId]] = {}
     affected: set[Vertex] = set()
     if compute_removals:
-        for nid in state.sn(x):
+        for nid in state.sn(x):  # lint: order-ok set union is commutative
             affected |= tree.nodes[nid].vertices
         _invalidate(state.adjacency, tree, affected, removals)
     old_ids = {v: tree.node_of[v].node_id for v in component}
@@ -74,7 +74,7 @@ def apply_anchor(
     frontier = list(closure)
     while frontier:
         a = frontier.pop()
-        for b in graph.neighbors(a):
+        for b in graph.neighbors(a):  # lint: order-ok closure BFS builds a set
             if b in state.anchors and b not in closure:
                 closure.add(b)
                 frontier.append(b)
@@ -90,7 +90,7 @@ def apply_anchor(
     # Anchor effective corenesses are defined over *global* non-anchor
     # neighborhoods; refresh every anchor whose neighborhood changed.
     state.anchors = new_anchors
-    for a in boundary_anchors | {x}:
+    for a in sorted(boundary_anchors | {x}, key=_sort_key):
         eff = max(
             (
                 coreness[v]
@@ -142,11 +142,12 @@ def apply_anchor(
     # ---- Lines 12-16: invalidation from the new structures.
     if compute_removals:
         widened: set[Vertex] = set()
-        for v in affected:
+        for v in affected:  # lint: order-ok set union is commutative
             if v in new_anchors:
                 continue
             widened |= tree.node_of[v].vertices
-        for v in widened - affected:
+        # removals accumulate into per-vertex sets; scan order is free
+        for v in widened - affected:  # lint: order-ok commutative set inserts
             vid = old_ids.get(v)
             if vid is None:
                 continue
@@ -166,7 +167,7 @@ def _invalidate(
 ) -> None:
     """Lines 3-6: each affected vertex's node id dies for itself and for
     its lower-coreness neighbors."""
-    for v in affected:
+    for v in affected:  # lint: order-ok commutative set inserts
         vid = tree.node_of[v].node_id
         removals.setdefault(v, set()).add(vid)
         tca_v = adjacency.tca[v]
@@ -196,14 +197,16 @@ def _refresh_adjacency(state: AnchoredState, touched: set[Vertex]) -> None:
     coreness = state.decomposition.coreness
     node_of = state.tree.node_of
     adjacency = state.adjacency
-    for u in touched:
+    for u in touched:  # lint: order-ok per-vertex updates are independent
         cu = coreness[u]
         tca_u: dict[NodeId, set[Vertex]] = {}
         sn_u: set[NodeId] = set()
         pn_u: set[NodeId] = set()
         fixed = 0
         same: list[Vertex] = []
-        for v in graph.neighbors(u):
+        # Canonical neighbor order keeps same_shell lists identical to a
+        # fresh TreeAdjacency build (and stable across hash seeds).
+        for v in sorted(graph.neighbors(u), key=_sort_key):
             if v in anchors:
                 fixed += 1
                 continue

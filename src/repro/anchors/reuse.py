@@ -23,6 +23,7 @@ from repro.anchors.followers import FollowerReport
 from repro.anchors.state import AnchoredState
 from repro.core.tree import NodeId
 from repro.graphs.graph import Vertex
+from repro.verify import enabled as _verify_enabled
 
 
 class FollowerCache:
@@ -65,6 +66,12 @@ class FollowerCache:
         for nid, (k, count) in stored.items():
             if nid in sn_u and nodes[nid].k == k:
                 valid[nid] = count
+        # Algorithm-3 soundness: a served count must equal what a fresh
+        # per-node exploration would find (no stale tree nodes).
+        if valid and _verify_enabled():
+            from repro.verify.invariants import verify_cache_counts
+
+            verify_cache_counts(state, u, valid)
         return valid
 
     def apply_removals(self, removals: Mapping[Vertex, set[NodeId]]) -> int:
@@ -111,12 +118,12 @@ def result_reuse(
     # node id dies for itself and for its lower-coreness neighbors.
     old_nodes = old_state.tree.nodes
     affected: set[Vertex] = set()
-    for nid in old_state.sn(x):
+    for nid in old_state.sn(x):  # lint: order-ok set union is commutative
         affected |= old_nodes[nid].vertices
     old_node_id = old_state.tree.node_id_of
     old_tca = old_state.adjacency.tca
     old_pn = old_state.adjacency.pn
-    for v in affected:
+    for v in affected:  # lint: order-ok commutative set inserts
         vid = old_node_id(v)
         removals[v].add(vid)
         tca_v = old_tca[v]
@@ -129,13 +136,13 @@ def result_reuse(
     # ``x`` itself is affected but, as an anchor, no longer has a node.
     new_node_of = new_state.tree.node_of
     widened: set[Vertex] = set()
-    for v in affected:
+    for v in affected:  # lint: order-ok set union is commutative
         if v in new_state.anchors:
             continue
         widened |= new_node_of[v].vertices
     new_tca = new_state.adjacency.tca
     new_pn = new_state.adjacency.pn
-    for v in widened - affected:
+    for v in widened - affected:  # lint: order-ok commutative set inserts
         vid = old_node_id(v)
         removals[v].add(vid)
         tca_v = new_tca[v]

@@ -23,7 +23,10 @@ from __future__ import annotations
 from collections.abc import Collection, Iterable
 from dataclasses import dataclass, field
 
+from repro.errors import AnchorNotFoundError
 from repro.graphs.graph import Graph, Vertex
+from repro.verify import enabled as _verify_enabled
+from repro.verify import verification as _verification
 
 ShellLayer = tuple[int, int]
 
@@ -80,9 +83,11 @@ def _effective_anchor_coreness(
     anchor's placement), which the in-place subtree rebuild relies on.
     """
     anchor_set = anchors if isinstance(anchors, (set, frozenset)) else set(anchors)
-    for a in anchor_set:
+    # lint waivers: the docstring above proves per-anchor independence,
+    # and the inner max-accumulation is commutative.
+    for a in anchor_set:  # lint: order-ok per-anchor values are independent
         best = 0
-        for v in graph.neighbors(a):
+        for v in graph.neighbors(a):  # lint: order-ok commutative max
             if v in anchor_set:
                 continue
             c = coreness.get(v, 0)
@@ -91,16 +96,34 @@ def _effective_anchor_coreness(
         coreness[a] = best
 
 
+def _require_anchors_present(graph: Graph, anchors: Collection[Vertex]) -> None:
+    """Reject anchor sets naming vertices outside the graph.
+
+    Raises:
+        AnchorNotFoundError: listing every absent anchor, instead of the
+            bare ``KeyError`` a deep neighbor lookup would produce.
+    """
+    missing = [a for a in anchors if a not in graph]
+    if missing:
+        raise AnchorNotFoundError(sorted(missing, key=_sort_key))
+
+
 def core_decomposition(
-    graph: Graph, anchors: Iterable[Vertex] = ()
+    graph: Graph, anchors: Iterable[Vertex] = (), *, verify: bool | None = None
 ) -> CoreDecomposition:
     """Coreness of every vertex via the Batagelj–Zaveršnik bucket algorithm.
 
     Anchors are never deleted (degree treated as infinite). Runs in
     O(m + n). The returned decomposition has empty ``shell_layer`` and
     ``order``; use :func:`peel_decomposition` when those are needed.
+    ``verify=True`` force-enables the runtime invariant checks for this
+    call (``None`` defers to ``REPRO_VERIFY``).
+
+    Raises:
+        AnchorNotFoundError: if any anchor vertex is absent from the graph.
     """
     anchor_set = frozenset(anchors)
+    _require_anchors_present(graph, anchor_set)
     n = graph.num_vertices
     coreness: dict[Vertex, int] = {}
     if n == 0:
@@ -134,7 +157,7 @@ def core_decomposition(
         remaining -= 1
         current_core = max(current_core, d)
         coreness[u] = current_core
-        for v in graph.neighbors(u):
+        for v in graph.neighbors(u):  # lint: order-ok commutative decrements
             if v in anchor_set or v in processed:
                 continue
             dv = degree[v]
@@ -147,11 +170,17 @@ def core_decomposition(
             d -= 1
 
     _effective_anchor_coreness(graph, anchor_set, coreness)
-    return CoreDecomposition(coreness=coreness, anchors=anchor_set)
+    result = CoreDecomposition(coreness=coreness, anchors=anchor_set)
+    with _verification(verify):
+        if _verify_enabled():
+            from repro.verify.invariants import verify_decomposition
+
+            verify_decomposition(graph, anchor_set, result)
+    return result
 
 
 def peel_decomposition(
-    graph: Graph, anchors: Iterable[Vertex] = ()
+    graph: Graph, anchors: Iterable[Vertex] = (), *, verify: bool | None = None
 ) -> CoreDecomposition:
     """Algorithm 1 peeling with shell layers and deletion order.
 
@@ -160,8 +189,14 @@ def peel_decomposition(
     ``P(u) = (c(u), i)`` records the 1-based batch ``i`` within its shell
     in which it was deleted — the ordering that drives upstair paths
     (Definition 4.12) and the follower search (Algorithm 4).
+    ``verify=True`` force-enables the runtime invariant checks for this
+    call (``None`` defers to ``REPRO_VERIFY``).
+
+    Raises:
+        AnchorNotFoundError: if any anchor vertex is absent from the graph.
     """
     anchor_set = frozenset(anchors)
+    _require_anchors_present(graph, anchor_set)
     coreness: dict[Vertex, int] = {}
     shell_layer: dict[Vertex, ShellLayer] = {}
     order: list[Vertex] = []
@@ -191,7 +226,9 @@ def peel_decomposition(
             remaining -= len(frontier)
             next_frontier: list[Vertex] = []
             for u in frontier:
-                for v in graph.neighbors(u):
+                # next_frontier is deduplicated and sorted before use, so
+                # the neighbor scan order below never reaches the output.
+                for v in graph.neighbors(u):  # lint: order-ok resorted below
                     if v not in alive:
                         continue
                     dv = degree[v]
@@ -209,9 +246,19 @@ def peel_decomposition(
     for a in sorted(anchor_set, key=_sort_key):
         shell_layer[a] = (coreness[a], 0)
         order.append(a)
-    return CoreDecomposition(
+    result = CoreDecomposition(
         coreness=coreness, shell_layer=shell_layer, order=order, anchors=anchor_set
     )
+    with _verification(verify):
+        if _verify_enabled():
+            from repro.verify.invariants import (
+                verify_decomposition,
+                verify_shell_layers,
+            )
+
+            verify_decomposition(graph, anchor_set, result)
+            verify_shell_layers(graph, result)
+    return result
 
 
 def _sort_key(u: Vertex):

@@ -78,14 +78,14 @@ def upstair_reachable(
     queue: deque[Vertex] = deque()
     # First hop: any neighbor v with P(x) < P(v). Within v's shell the
     # path then climbs strictly increasing layers.
-    for v in graph.neighbors(x):
+    for v in graph.neighbors(x):  # lint: order-ok BFS reaches a set
         if v not in anchors and pairs[v] > px and v not in reached:
             reached.add(v)
             queue.append(v)
     while queue:
         u = queue.popleft()
         ku, iu = pairs[u]
-        for v in graph.neighbors(u):
+        for v in graph.neighbors(u):  # lint: order-ok BFS reaches a set
             if v in reached or v in anchors or v == x:
                 continue
             kv, iv = pairs[v]

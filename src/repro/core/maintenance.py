@@ -91,7 +91,7 @@ class CoreMaintainer:
                 queue.append(w)
         while queue:
             w = queue.popleft()
-            for x in self.graph.neighbors(w):
+            for x in self.graph.neighbors(w):  # lint: order-ok BFS builds a set
                 if x not in seen and self.coreness[x] == r:
                     seen.add(x)
                     queue.append(x)
@@ -108,20 +108,22 @@ class CoreMaintainer:
         coreness = self.coreness
         survivors = set(candidates)
         support: dict[Vertex, int] = {}
-        for w in survivors:
+        for w in survivors:  # lint: order-ok per-vertex support is independent
             cw = coreness[w]
             support[w] = sum(
                 1
                 for x in self.graph.neighbors(w)
                 if x in survivors or coreness[x] > cw
             )
-        queue = deque(w for w in survivors if support[w] < threshold)
+        # Cascading deletion reaches the same maximal fixed point in any
+        # processing order.
+        queue = deque(w for w in survivors if support[w] < threshold)  # lint: order-ok confluent cascade
         while queue:
             w = queue.popleft()
             if w not in survivors:
                 continue
             survivors.discard(w)
-            for x in self.graph.neighbors(w):
+            for x in self.graph.neighbors(w):  # lint: order-ok confluent cascade
                 if x in survivors:
                     support[x] -= 1
                     if support[x] < threshold:

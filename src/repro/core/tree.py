@@ -129,8 +129,10 @@ class CoreComponentTree:
         # (present at every level); they never join a node's vertex set.
         for a in anchors:
             uf.make(a)
-        for a in anchors:
-            for v in graph.neighbors(a):
+        # Union-find grouping is order-free: node ids are canonicalized
+        # to the minimum member and children re-sorted after the build.
+        for a in anchors:  # lint: order-ok canonicalized below
+            for v in graph.neighbors(a):  # lint: order-ok canonicalized below
                 if v in anchors:
                     uf.union(a, v)
         # current node representing each union-find component, keyed by root
@@ -140,7 +142,7 @@ class CoreComponentTree:
             for u in group:
                 uf.make(u)
             for u in group:
-                for v in graph.neighbors(u):
+                for v in graph.neighbors(u):  # lint: order-ok canonicalized below
                     if v in uf.parent and (v in anchors or coreness[v] >= k):
                         uf.union(u, v)
             # Every component touched at this level gets a fresh node.
@@ -268,7 +270,9 @@ class TreeAdjacency:
             pn_u: set[NodeId] = set()
             fixed = 0
             same: list[Vertex] = []
-            for v in graph.neighbors(u):
+            # Canonical neighbor order keeps same_shell lists stable
+            # across hash seeds (and equal to an incremental refresh).
+            for v in sorted(graph.neighbors(u), key=_sort_key):
                 cv = coreness[v]
                 if v in anchor_set:
                     # anchors live in no tree node; they support u at

@@ -32,6 +32,30 @@ class EdgeNotFoundError(GraphError, KeyError):
         self.edge = (u, v)
 
 
+class AnchorNotFoundError(GraphError):
+    """Raised when an anchor set references vertices absent from the graph.
+
+    Deliberately *not* a ``KeyError`` subclass: an absent anchor is a
+    caller contract violation detected up front, not a failed lookup
+    deep inside an algorithm.
+    """
+
+    def __init__(self, missing: "list[object]") -> None:
+        shown = ", ".join(repr(a) for a in missing[:5])
+        suffix = f" (and {len(missing) - 5} more)" if len(missing) > 5 else ""
+        super().__init__(f"anchor vertices not in the graph: {shown}{suffix}")
+        self.missing = list(missing)
+
+
+class VerificationError(ReproError, AssertionError):
+    """Raised by :mod:`repro.verify` when a runtime invariant fails.
+
+    Also an ``AssertionError`` so test harnesses that treat assertion
+    failures specially (e.g. pytest rewriting, ``-O`` awareness
+    audits) classify it correctly.
+    """
+
+
 class DatasetError(ReproError):
     """Raised when a dataset cannot be built or loaded."""
 

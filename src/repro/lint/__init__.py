@@ -1,0 +1,34 @@
+"""repro.lint — the repo-specific determinism linter.
+
+An AST-based static checker enforcing the reproducibility invariants
+the anchored-coreness algorithms rely on (stable iteration order,
+seeded randomness, pure follower computation, ...). Run it as::
+
+    python -m repro.lint src/ tests/
+
+or call :func:`lint_paths` / :func:`lint_source` programmatically (the
+test suite does both). See ``docs/verification.md`` for the rule
+catalogue and waiver syntax.
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.diagnostics import Diagnostic, to_json
+from repro.lint.markers import pure
+from repro.lint.rules import REGISTRY, LintContext, Rule, all_rules, register
+from repro.lint.runner import classify, discover, lint_paths, lint_source
+
+__all__ = [
+    "Baseline",
+    "Diagnostic",
+    "LintContext",
+    "REGISTRY",
+    "Rule",
+    "all_rules",
+    "classify",
+    "discover",
+    "lint_paths",
+    "lint_source",
+    "pure",
+    "register",
+    "to_json",
+]

@@ -1,0 +1,133 @@
+"""Command-line entry point: ``python -m repro.lint [paths ...]``.
+
+Exit status: 0 when no (non-baselined) diagnostics were found, 1 when
+violations remain, 2 on usage or I/O errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import Baseline
+from repro.lint.diagnostics import to_json
+from repro.lint.rules import REGISTRY, Rule, all_rules
+from repro.lint.runner import lint_paths
+
+DEFAULT_BASELINE = Path(".lint-baseline.json")
+
+
+def _select_rules(spec: str | None) -> list[Rule]:
+    if spec is None:
+        return all_rules()
+    selected: list[Rule] = []
+    for rule_id in spec.split(","):
+        rule_id = rule_id.strip().upper()
+        if rule_id not in REGISTRY:
+            raise SystemExit(
+                f"error: unknown rule {rule_id!r}; available: "
+                + ", ".join(sorted(REGISTRY))
+            )
+        selected.append(REGISTRY[rule_id])
+    return selected
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Determinism linter for the anchored-coreness reproduction.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON diagnostics"
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="R1,R2,...",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE} "
+        "when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file, report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  [{rule.slug}]  {rule.summary}")
+        return 0
+
+    try:
+        rules = _select_rules(args.rules)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            "error: no such file or directory: "
+            + ", ".join(str(p) for p in missing),
+            file=sys.stderr,
+        )
+        return 2
+
+    diagnostics = lint_paths(paths, rules=rules)
+
+    baseline_path = args.baseline
+    if baseline_path is None and DEFAULT_BASELINE.exists():
+        baseline_path = DEFAULT_BASELINE
+
+    if args.write_baseline:
+        target = baseline_path or DEFAULT_BASELINE
+        Baseline.from_diagnostics(diagnostics).save(target)
+        print(f"wrote {len(diagnostics)} baseline entries to {target}")
+        return 0
+
+    suppressed = 0
+    if baseline_path is not None and not args.no_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        diagnostics, suppressed = baseline.filter(diagnostics)
+
+    if args.json:
+        print(to_json(diagnostics))
+    else:
+        for diagnostic in diagnostics:
+            print(diagnostic.render())
+        summary = f"{len(diagnostics)} finding(s)"
+        if suppressed:
+            summary += f", {suppressed} baselined"
+        print(summary)
+    return 1 if diagnostics else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Baseline files: grandfathering pre-existing diagnostics.
+
+A baseline is a committed JSON file listing diagnostics that existed
+when the linter was introduced (or when a rule was tightened). Runs
+subtract the baseline from their findings, so old debt does not block
+CI while every *new* violation still fails.
+
+Entries match on ``(path, rule, code)`` — the stripped source line
+rather than the line number — so unrelated edits that shift lines do
+not invalidate the baseline, while editing the offending line itself
+(presumably to fix it) retires the entry. Matching is multiset-style:
+two identical violations need two entries.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.diagnostics import Diagnostic
+
+_FORMAT_VERSION = 1
+
+BaselineKey = tuple[str, str, str]
+
+
+@dataclass
+class Baseline:
+    """A multiset of grandfathered ``(path, rule, code)`` diagnostics."""
+
+    entries: Counter[BaselineKey] = field(default_factory=Counter)
+
+    @staticmethod
+    def key(diagnostic: Diagnostic) -> BaselineKey:
+        return (diagnostic.path, diagnostic.rule, diagnostic.code)
+
+    @classmethod
+    def from_diagnostics(cls, diagnostics: list[Diagnostic]) -> "Baseline":
+        return cls(entries=Counter(cls.key(d) for d in diagnostics))
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; raises ``ValueError`` on a bad document."""
+        document = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(document, dict) or document.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: not a version-{_FORMAT_VERSION} lint baseline file"
+            )
+        entries: Counter[BaselineKey] = Counter()
+        for row in document.get("entries", []):
+            entries[(row["path"], row["rule"], row["code"])] += int(row.get("count", 1))
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        """Write the baseline in a stable, diff-friendly order."""
+        rows = [
+            {"path": p, "rule": r, "code": c, "count": n}
+            for (p, r, c), n in sorted(self.entries.items())
+        ]
+        document = {"version": _FORMAT_VERSION, "entries": rows}
+        path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+    def filter(
+        self, diagnostics: list[Diagnostic]
+    ) -> tuple[list[Diagnostic], int]:
+        """Split diagnostics into (new, suppressed-count).
+
+        Consumes baseline budget in diagnostic order, so ``n`` entries
+        suppress at most ``n`` identical findings.
+        """
+        budget = Counter(self.entries)
+        fresh: list[Diagnostic] = []
+        suppressed = 0
+        for diagnostic in diagnostics:
+            key = self.key(diagnostic)
+            if budget[key] > 0:
+                budget[key] -= 1
+                suppressed += 1
+            else:
+                fresh.append(diagnostic)
+        return fresh, suppressed
+
+    def stale_entries(self, diagnostics: list[Diagnostic]) -> list[BaselineKey]:
+        """Baseline entries that no current diagnostic consumes (fixed debt)."""
+        current = Counter(self.key(d) for d in diagnostics)
+        stale: list[BaselineKey] = []
+        for key, count in sorted(self.entries.items()):
+            unused = count - min(count, current[key])
+            stale.extend([key] * unused)
+        return stale

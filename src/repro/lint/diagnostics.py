@@ -1,0 +1,49 @@
+"""Diagnostic records emitted by the determinism linter.
+
+A :class:`Diagnostic` pinpoints one rule violation. The human-readable
+rendering is the conventional ``file:line:col: rule-id message`` single
+line (clickable in editors and CI logs); :func:`to_json` serializes a
+batch for machine consumption (``python -m repro.lint --json``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One linter finding.
+
+    Attributes:
+        path: repo-relative posix path of the offending file.
+        line: 1-based line of the offending node.
+        col: 0-based column of the offending node.
+        rule: the rule id (``R1`` .. ``R6``).
+        message: human-readable explanation with a fix hint.
+        code: the stripped source line, used for baseline matching so
+            entries survive unrelated edits that shift line numbers.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    code: str = ""
+
+    def render(self) -> str:
+        """The canonical ``file:line:col: rule-id message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def to_json(diagnostics: list[Diagnostic]) -> str:
+    """Serialize diagnostics as a JSON document (stable field order)."""
+    payload: dict[str, Any] = {
+        "version": 1,
+        "count": len(diagnostics),
+        "diagnostics": [asdict(d) for d in diagnostics],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,21 @@
+"""Static-analysis markers consumed by the linter.
+
+:func:`pure` is a no-op at runtime; it *registers* a function as pure
+for the R5 purity rule (:class:`repro.lint.rules.PurityRule`): the
+linter rejects any call to a ``Graph`` mutator
+(``add_edge`` / ``remove_vertex`` / ...) inside a decorated function.
+Follower computation and bound evaluation are decorated throughout the
+package — they read the shared graph on the hot path, so a mutation
+there would corrupt every concurrently derived structure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable[..., object])
+
+
+def pure(func: F) -> F:
+    """Mark ``func`` as graph-pure (lint rule R5 enforces it statically)."""
+    return func

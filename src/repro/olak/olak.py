@@ -26,6 +26,8 @@ from repro.anchors.state import AnchoredState
 from repro.core.decomposition import _sort_key, core_decomposition
 from repro.errors import BudgetError
 from repro.graphs.graph import Graph, Vertex
+from repro.verify import enabled as _verify_enabled
+from repro.verify import verification as _verification
 
 
 @dataclass
@@ -55,7 +57,14 @@ class OlakResult:
         return frozenset(self.anchors)
 
 
-def olak(graph: Graph, k: int, budget: int, seed: int | None = None) -> OlakResult:
+def olak(
+    graph: Graph,
+    k: int,
+    budget: int,
+    seed: int | None = None,
+    *,
+    verify: bool | None = None,
+) -> OlakResult:
     """Greedy anchored k-core: ``budget`` anchors maximizing k-core size.
 
     Args:
@@ -63,6 +72,8 @@ def olak(graph: Graph, k: int, budget: int, seed: int | None = None) -> OlakResu
         k: the core parameter (``k >= 2`` is meaningful).
         budget: number of anchors to select.
         seed: unused, accepted for interface symmetry with the heuristics.
+        verify: force the runtime invariant checks on (``True``) or off
+            (``False``) for this run; ``None`` defers to ``REPRO_VERIFY``.
 
     Raises:
         BudgetError: when the budget is invalid for the graph.
@@ -72,7 +83,12 @@ def olak(graph: Graph, k: int, budget: int, seed: int | None = None) -> OlakResu
         raise BudgetError(f"budget {budget} is invalid for n={graph.num_vertices}")
     if k < 1:
         raise ValueError(f"k must be positive, got {k}")
+    with _verification(verify):
+        return _run_olak(graph, k, budget)
 
+
+def _run_olak(graph: Graph, k: int, budget: int) -> OlakResult:
+    """The OLAK greedy loop proper (runs inside the verification context)."""
     start = time.perf_counter()
     result = OlakResult(k=k)
     state = AnchoredState.build(graph)
@@ -82,6 +98,12 @@ def olak(graph: Graph, k: int, budget: int, seed: int | None = None) -> OlakResu
         best, best_followers = _select_best(state, k)
         if best is None:
             break
+        # The reported followers must be exactly the (k-1)-coreness
+        # vertices whose coreness rises when ``best`` is anchored.
+        if _verify_enabled():
+            from repro.verify.invariants import verify_olak_selection
+
+            verify_olak_selection(state, k, best, frozenset(best_followers))
         result.anchors.append(best)
         result.followers[best] = frozenset(best_followers)
         result.kcore_growth += len(best_followers)
@@ -115,7 +137,7 @@ def _select_best(
         # a follower search can only start through a neighbor in the
         # (k-1)-shell, at a strictly higher layer when x shares it
         px = pairs[x]
-        for v in graph.neighbors(x):
+        for v in graph.neighbors(x):  # lint: order-ok existence check only
             if coreness[v] != k - 1 or v in state.anchors:
                 continue
             if coreness[x] < k - 1 or pairs[v] > px:

@@ -1,0 +1,284 @@
+"""The invariant checks wired into the hot paths.
+
+Every function is a no-op unless :func:`repro.verify.enabled` is true
+at its call site (the hot paths gate the calls), suspends verification
+while its own reference machinery runs (the references call the very
+functions being validated), and raises
+:class:`repro.errors.VerificationError` on the first violated
+invariant. Expensive checks are size-capped — see
+:func:`repro.verify.edge_limit` — so ``REPRO_VERIFY=1`` stays usable on
+the full test suite; ``REPRO_VERIFY=full`` lifts the caps.
+
+Checked invariants (see ``docs/verification.md``):
+
+* coreness satisfies the k-core degree condition and matches an
+  independent heap-peel recompute;
+* shell-layer pairs are consistent with the peel order: layers ladder
+  down to 1 through same-shell neighbors, and the deletion order is
+  monotone in ``(coreness, layer)``;
+* ``FindFollowers`` output equals the followers obtained from full
+  re-decomposition;
+* the Algorithm-3 reuse cache never serves a count that a fresh
+  exploration would contradict (no stale tree nodes);
+* upper-bound pruning never discards a candidate whose true marginal
+  gain exceeds the selected one, i.e. the greedy pick is a true argmax;
+* the greedy run's summed marginal gains equal the coreness gain of
+  its final anchor set.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import TYPE_CHECKING
+
+from repro import verify
+from repro.core.decomposition import CoreDecomposition
+from repro.core.tree import NodeId
+from repro.errors import VerificationError
+from repro.graphs.graph import Graph, Vertex
+from repro.verify.reference import reference_coreness, reference_followers
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import, avoids a cycle
+    from repro.anchors.state import AnchoredState
+
+__all__ = [
+    "verify_cache_counts",
+    "verify_decomposition",
+    "verify_follower_report",
+    "verify_greedy_total",
+    "verify_olak_selection",
+    "verify_selection",
+    "verify_shell_layers",
+]
+
+
+def _fail(invariant: str, detail: str) -> None:
+    raise VerificationError(f"invariant {invariant!r} violated: {detail}")
+
+
+def verify_decomposition(
+    graph: Graph, anchors: frozenset[Vertex], decomposition: CoreDecomposition
+) -> None:
+    """Coreness degree condition, anchor placement, and reference match."""
+    with verify.suspended():
+        coreness = decomposition.coreness
+        missing = [u for u in graph.vertices() if u not in coreness]
+        if missing:
+            _fail("coreness-total", f"{len(missing)} vertices have no coreness")
+        for u in graph.vertices():
+            if u in anchors:
+                continue
+            cu = coreness[u]
+            support = sum(
+                1
+                for v in graph.neighbors(u)
+                if v in anchors or coreness[v] >= cu
+            )
+            if support < cu:
+                _fail(
+                    "kcore-degree-condition",
+                    f"vertex {u!r} has coreness {cu} but only {support} "
+                    f"neighbors in the {cu}-core",
+                )
+        for a in sorted(anchors, key=repr):
+            expected = max(
+                (coreness[v] for v in graph.neighbors(a) if v not in anchors),
+                default=0,
+            )
+            if coreness[a] != expected:
+                _fail(
+                    "anchor-effective-coreness",
+                    f"anchor {a!r} has coreness {coreness[a]}, expected "
+                    f"{expected} (max over non-anchor neighbors)",
+                )
+        if graph.num_edges <= verify.edge_limit():
+            reference = reference_coreness(graph, anchors)
+            for u in graph.vertices():
+                if coreness[u] != reference[u]:
+                    _fail(
+                        "coreness-reference-match",
+                        f"vertex {u!r}: fast path says {coreness[u]}, "
+                        f"reference heap peel says {reference[u]}",
+                    )
+
+
+def verify_shell_layers(graph: Graph, decomposition: CoreDecomposition) -> None:
+    """Shell-layer pairs are monotone and consistent with the peel order."""
+    with verify.suspended():
+        anchors = decomposition.anchors
+        coreness = decomposition.coreness
+        pairs = decomposition.shell_layer
+        order = decomposition.order
+        for u in graph.vertices():
+            if u not in pairs:
+                _fail("shell-layer-total", f"vertex {u!r} has no shell-layer pair")
+            k, layer = pairs[u]
+            if k != coreness[u]:
+                _fail(
+                    "shell-layer-shell",
+                    f"vertex {u!r}: pair {pairs[u]} disagrees with coreness "
+                    f"{coreness[u]}",
+                )
+            if u in anchors:
+                if layer != 0:
+                    _fail(
+                        "anchor-layer-zero",
+                        f"anchor {u!r} must sit in layer 0, got {layer}",
+                    )
+                continue
+            if layer < 1:
+                _fail(
+                    "layer-positive",
+                    f"non-anchor {u!r} must have layer >= 1, got {layer}",
+                )
+            if layer > 1:
+                # The batched peel only moves a vertex into batch i when a
+                # same-shell neighbor fell in batch i - 1.
+                has_ladder = any(
+                    v not in anchors and pairs[v] == (k, layer - 1)
+                    for v in graph.neighbors(u)
+                )
+                if not has_ladder:
+                    _fail(
+                        "layer-ladder",
+                        f"vertex {u!r} in layer {layer} of shell {k} has no "
+                        f"same-shell neighbor in layer {layer - 1}",
+                    )
+        if order:
+            if len(order) != graph.num_vertices:
+                _fail(
+                    "order-total",
+                    f"deletion order has {len(order)} entries for "
+                    f"{graph.num_vertices} vertices",
+                )
+            non_anchor_pairs = [pairs[u] for u in order if u not in anchors]
+            if any(
+                earlier > later
+                for earlier, later in zip(non_anchor_pairs, non_anchor_pairs[1:])
+            ):
+                _fail(
+                    "order-monotone",
+                    "deletion order is not monotone in (coreness, layer)",
+                )
+            tail = order[len(order) - len(anchors) :]
+            if anchors and set(tail) != set(anchors):
+                _fail("order-anchors-last", "anchors must close the deletion order")
+
+
+def verify_follower_report(
+    state: "AnchoredState", x: Vertex, total: int, members: set[Vertex]
+) -> None:
+    """``FindFollowers`` equals followers from full re-decomposition."""
+    graph = state.graph
+    if graph.num_edges > verify.edge_limit(2):
+        return
+    with verify.suspended():
+        base = reference_coreness(graph, state.anchors)
+        expected = reference_followers(graph, x, state.anchors, base=base)
+        if total != len(expected) or members != expected:
+            extra = sorted(members - expected, key=repr)
+            lost = sorted(expected - members, key=repr)
+            _fail(
+                "find-followers-exact",
+                f"candidate {x!r}: tree search found {total} followers, "
+                f"re-decomposition found {len(expected)} "
+                f"(spurious={extra[:5]}, missed={lost[:5]})",
+            )
+
+
+def verify_cache_counts(
+    state: "AnchoredState", u: Vertex, counts: Mapping[NodeId, int]
+) -> None:
+    """A served cache entry must match a fresh per-node exploration."""
+    if not counts or state.graph.num_edges > verify.edge_limit(2):
+        return
+    with verify.suspended():
+        from repro.anchors.followers import find_followers
+
+        fresh = find_followers(state, u)
+        for nid, count in sorted(counts.items(), key=lambda kv: repr(kv[0])):
+            actual = fresh.counts.get(nid)
+            if actual is None:
+                _fail(
+                    "reuse-cache-live-node",
+                    f"cache served node {nid!r} for candidate {u!r} but the "
+                    "node is no longer in sn(u) — stale tree node",
+                )
+            elif actual != count:
+                _fail(
+                    "reuse-cache-count",
+                    f"cache served |F[{u!r}][{nid!r}]| = {count} but a fresh "
+                    f"exploration finds {actual} — stale count",
+                )
+
+
+def verify_selection(
+    state: "AnchoredState",
+    base_coreness: Mapping[Vertex, int],
+    best: Vertex,
+    best_gain: int,
+) -> None:
+    """The greedy pick is a true argmax — pruning discarded no winner."""
+    graph = state.graph
+    if graph.num_edges > verify.edge_limit(8):
+        return
+    with verify.suspended():
+        current = reference_coreness(graph, state.anchors)
+        top: int | None = None
+        top_vertex: Vertex | None = None
+        for u in state.candidates():
+            followers = reference_followers(graph, u, state.anchors, base=current)
+            gain = len(followers) - (current[u] - base_coreness[u])
+            if top is None or gain > top:
+                top, top_vertex = gain, u
+        if top is None:
+            _fail("selection-nonempty", "no candidates but a vertex was selected")
+        if best_gain != top:
+            relation = "under" if best_gain < top else "over"
+            _fail(
+                "pruning-soundness",
+                f"greedy selected {best!r} with gain {best_gain} but candidate "
+                f"{top_vertex!r} has true gain {top} — upper-bound pruning "
+                f"{relation}shot the argmax",
+            )
+
+
+def verify_greedy_total(
+    graph: Graph, initial: frozenset[Vertex], anchors: list[Vertex], total_gain: int
+) -> None:
+    """Summed marginal gains telescope to the final coreness gain."""
+    if graph.num_edges > verify.edge_limit(2):
+        return
+    with verify.suspended():
+        base = reference_coreness(graph, initial)
+        final_set = initial | frozenset(anchors)
+        final = reference_coreness(graph, final_set)
+        expected = sum(
+            final[u] - base[u] for u in graph.vertices() if u not in final_set
+        )
+        if total_gain != expected:
+            _fail(
+                "greedy-total-gain",
+                f"greedy accumulated {total_gain} marginal gain but the final "
+                f"anchor set yields g(A, G) = {expected}",
+            )
+
+
+def verify_olak_selection(
+    state: "AnchoredState", k: int, best: Vertex, members: frozenset[Vertex]
+) -> None:
+    """OLAK's shell-restricted followers match the re-decomposition diff."""
+    graph = state.graph
+    if graph.num_edges > verify.edge_limit(2):
+        return
+    with verify.suspended():
+        current = reference_coreness(graph, state.anchors)
+        followers = reference_followers(graph, best, state.anchors, base=current)
+        expected = {u for u in followers if current[u] == k - 1}
+        if members != expected:
+            _fail(
+                "olak-shell-followers",
+                f"anchor {best!r} at k={k}: shell-restricted search found "
+                f"{sorted(members, key=repr)[:5]}..., re-decomposition found "
+                f"{sorted(expected, key=repr)[:5]}...",
+            )

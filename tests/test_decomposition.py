@@ -175,3 +175,37 @@ class TestHelpers:
     def test_layer_of(self):
         dec = peel_decomposition(figure5b_graph())
         assert dec.layer_of(5) == 2
+
+
+class TestAbsentAnchors:
+    """Anchor sets naming vertices outside the graph fail loudly."""
+
+    def test_core_decomposition_rejects_absent_anchor(self, triangle):
+        from repro.errors import AnchorNotFoundError
+
+        with pytest.raises(AnchorNotFoundError, match=r"anchor vertices not in the graph: 99"):
+            core_decomposition(triangle, anchors=[99])
+
+    def test_peel_decomposition_rejects_absent_anchor(self, triangle):
+        from repro.errors import AnchorNotFoundError
+
+        with pytest.raises(AnchorNotFoundError):
+            peel_decomposition(triangle, anchors=[0, 99])
+
+    def test_all_missing_anchors_are_listed(self, triangle):
+        from repro.errors import AnchorNotFoundError
+
+        with pytest.raises(AnchorNotFoundError) as excinfo:
+            core_decomposition(triangle, anchors=[99, 0, 42])
+        assert excinfo.value.missing == [42, 99]
+
+    def test_error_is_a_graph_error(self, triangle):
+        from repro.errors import AnchorNotFoundError, GraphError
+
+        with pytest.raises(GraphError):
+            core_decomposition(triangle, anchors=[99])
+        assert issubclass(AnchorNotFoundError, GraphError)
+
+    def test_present_anchors_still_work(self, triangle):
+        dec = core_decomposition(triangle, anchors=[0])
+        assert dec.coreness[0] == 2
