@@ -1,12 +1,22 @@
-"""Bench P1 — substrate throughput (performance regression guard).
+"""Bench P1 — substrate throughput + machine-readable perf baseline.
 
-Times the primitives everything else is built from, on the largest
-replica: core decomposition (bucket + peel), tree construction, and the
-local follower search over a vertex sample. Regressions here multiply
-through every experiment.
+Times each substrate primitive twice — once on the dict adjacency path
+(``REPRO_CSR=0``) and once on the interned CSR fast path — and writes
+``BENCH_substrate.json`` at the repository root: per-primitive
+wall-clock, dataset sizes, and the speedup of the flat-array kernels
+over the dict implementations. The CI smoke job runs this on a reduced
+replica and fails if the CSR path regresses below the dict path;
+regressions here multiply through every experiment.
+
+Environment knobs:
+    REPRO_BENCH_SMOKE=1   reduced replica + fewer repeats (the CI mode)
+    REPRO_BENCH_DATASET   override the replica name
+    REPRO_BENCH_OUT       override the output path
 """
 
+import os
 import time
+from pathlib import Path
 
 from conftest import run_once
 
@@ -15,41 +25,118 @@ from repro.anchors.state import AnchoredState
 from repro.core.decomposition import core_decomposition, peel_decomposition
 from repro.core.tree import CoreComponentTree, TreeAdjacency
 from repro.datasets import registry
+from repro.experiments.reporting import PerfBaseline
+from repro.graphs.csr import csr_view
 
-DATASET = "livejournal"
-FOLLOWER_SAMPLE = 400
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+DATASET = os.environ.get(
+    "REPRO_BENCH_DATASET", "brightkite" if SMOKE else "livejournal"
+)
+BEST_OF = 3 if SMOKE else 5
+FOLLOWER_SAMPLE = 100 if SMOKE else 400
+_DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
+OUT_PATH = Path(os.environ.get("REPRO_BENCH_OUT", _DEFAULT_OUT))
+
+
+def _best_of(fn, reps):
+    """Minimum wall-clock of ``reps`` runs of ``fn`` (noise floor)."""
+    best = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def _timed_with_csr(enabled, fn, reps=BEST_OF):
+    """Best-of timing of ``fn`` with the CSR view forced on or off."""
+    previous = os.environ.get("REPRO_CSR")
+    os.environ["REPRO_CSR"] = "1" if enabled else "0"
+    try:
+        return _best_of(fn, reps)
+    finally:
+        if previous is None:
+            del os.environ["REPRO_CSR"]
+        else:
+            os.environ["REPRO_CSR"] = previous
 
 
 def _run():
     graph = registry.load(DATASET)
-    timings = {}
+    baseline = PerfBaseline(
+        name="substrate-perf-baseline",
+        dataset=DATASET,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        mode="smoke" if SMOKE else "full",
+        best_of=BEST_OF,
+    )
 
+    # One-off interning cost, then the view is warm for the CSR timings
+    # below (the common case: the greedy loops re-decompose an unmutated
+    # graph thousands of times against the same interned view).
     t0 = time.perf_counter()
-    core_decomposition(graph)
-    timings["bucket_decomposition_s"] = time.perf_counter() - t0
+    csr_view(graph)
+    baseline.csr_build_s = round(time.perf_counter() - t0, 6)
 
-    t0 = time.perf_counter()
+    baseline.record(
+        "bucket_decomposition",
+        _timed_with_csr(False, lambda: core_decomposition(graph)),
+        _timed_with_csr(True, lambda: core_decomposition(graph)),
+    )
+    baseline.record(
+        "peel_decomposition",
+        _timed_with_csr(False, lambda: peel_decomposition(graph)),
+        _timed_with_csr(True, lambda: peel_decomposition(graph)),
+    )
+
     decomposition = peel_decomposition(graph)
-    timings["peel_decomposition_s"] = time.perf_counter() - t0
 
-    t0 = time.perf_counter()
-    tree = CoreComponentTree.build(graph, decomposition)
-    TreeAdjacency(graph, decomposition, tree, anchors=frozenset())
-    timings["tree_and_adjacency_s"] = time.perf_counter() - t0
+    def tree_and_adjacency():
+        tree = CoreComponentTree.build(graph, decomposition)
+        TreeAdjacency(graph, decomposition, tree, anchors=frozenset())
+
+    baseline.record(
+        "tree_and_adjacency",
+        _timed_with_csr(False, tree_and_adjacency),
+        _timed_with_csr(True, tree_and_adjacency),
+    )
 
     state = AnchoredState.build(graph)
     sample = sorted(graph.vertices())[:FOLLOWER_SAMPLE]
-    t0 = time.perf_counter()
-    total = sum(find_followers(state, u).total for u in sample)
-    timings["follower_search_s"] = time.perf_counter() - t0
-    timings["followers_found"] = total
-    return timings
+
+    def follower_search():
+        return sum(find_followers(state, u).total for u in sample)
+
+    baseline.record(
+        "follower_search",
+        _timed_with_csr(False, follower_search, reps=1 if SMOKE else 2),
+        _timed_with_csr(True, follower_search, reps=1 if SMOKE else 2),
+    )
+    baseline.notes.append(
+        "dict_s/csr_s are best-of wall-clock seconds; csr timings use a warm "
+        "interned view (build cost reported once as csr_build_s)"
+    )
+    baseline.write(OUT_PATH)
+    return baseline
 
 
 def test_substrate_throughput(benchmark):
-    timings = run_once(benchmark, _run)
+    baseline = run_once(benchmark, _run)
+    timings = {e["primitive"]: e for e in baseline.primitives}
+
+    # The CI gate: the flat-array fast path must never lose to the dict
+    # path on the kernels it replaces (follower_search is recorded for
+    # visibility only — it is dominated by per-anchor local search).
+    assert baseline.speedup("bucket_decomposition") >= 1.0
+    assert baseline.speedup("peel_decomposition") >= 1.0
+    assert baseline.speedup("tree_and_adjacency") >= 1.0
+
     # generous ceilings: a 10x regression fails loudly, normal noise passes
-    assert timings["bucket_decomposition_s"] < 3.0
-    assert timings["peel_decomposition_s"] < 5.0
-    assert timings["tree_and_adjacency_s"] < 8.0
-    assert timings["follower_search_s"] < 20.0
+    assert timings["bucket_decomposition"]["csr_s"] < 3.0
+    assert timings["peel_decomposition"]["csr_s"] < 5.0
+    assert timings["tree_and_adjacency"]["csr_s"] < 8.0
+    assert timings["follower_search"]["csr_s"] < 20.0
+    assert OUT_PATH.exists()

@@ -133,7 +133,11 @@ def greedy_anchored_coreness(
         initial_anchors: pre-existing anchors (excluded from candidates
             and from gain counting).
         time_limit: optional wall-clock cap in seconds; the run stops
-            early with ``truncated=True`` once exceeded.
+            early with ``truncated=True`` once exceeded. The deadline is
+            checked between iterations *and* between candidate
+            evaluations inside an iteration, so one expensive iteration
+            cannot overshoot the cap unboundedly; an iteration cut off
+            mid-scan records no partial winner.
         verify: force the runtime invariant checks on (``True``) or off
             (``False``) for this run; ``None`` defers to ``REPRO_VERIFY``.
 
@@ -184,6 +188,7 @@ def _run_greedy(
 ) -> GreedyResult:
     """The greedy loop proper (runs inside the verification context)."""
 
+    deadline = None if time_limit is None else start + time_limit
     state = AnchoredState.build(graph, initial)
     # Baseline corenesses: marginal gains are |F(x)| minus the gain x
     # itself accumulated as an earlier anchor's follower — that term
@@ -194,12 +199,12 @@ def _run_greedy(
     result = GreedyResult()
 
     for _ in range(budget):
-        if time_limit is not None and time.perf_counter() - start > time_limit:
+        if deadline is not None and time.perf_counter() > deadline:
             result.truncated = True
             break
         iter_start = time.perf_counter()
         counters = FollowerCounters()
-        best, best_gain = _select_best(
+        best, best_gain, expired = _select_best(
             state,
             cache,
             counters,
@@ -209,7 +214,11 @@ def _run_greedy(
             follower_method=follower_method,
             tie_break=tie_break,
             rng=rng,
+            deadline=deadline,
         )
+        if expired:
+            result.truncated = True
+            break
         if best is None:
             break
         # Pruning soundness: the chosen candidate must be a true argmax
@@ -256,7 +265,8 @@ def _select_best(
     follower_method: FollowerMethod,
     tie_break: TieBreak,
     rng: random.Random,
-) -> tuple[Vertex | None, int]:
+    deadline: float | None = None,
+) -> tuple[Vertex | None, int, bool]:
     """One greedy iteration: the candidate with the best marginal gain.
 
     The marginal gain of anchoring ``x`` is ``|F(x)|`` minus the coreness
@@ -264,10 +274,15 @@ def _select_best(
     (that contribution leaves ``g(A, G)`` once ``x`` joins ``A``). The
     upper bound dominates ``|F(x)|`` and hence the marginal gain, so
     pruning remains sound.
+
+    Returns ``(best, gain, expired)``. When ``deadline`` passes mid-scan
+    the iteration aborts with ``(None, 0, True)`` — a partial winner
+    would depend on how far the scan got, i.e. on wall-clock noise, so
+    an expired iteration never reports one.
     """
     candidates = state.candidates()
     if not candidates:
-        return None, 0
+        return None, 0, False
 
     bounds: UpperBounds | None = None
     refined: dict[Vertex, int] = {}
@@ -286,6 +301,8 @@ def _select_best(
     best_gain = -1
     best_tie = None
     for u in order:
+        if deadline is not None and time.perf_counter() > deadline:
+            return None, 0, True
         # Prune strictly below the best gain (the paper prunes <=; the
         # strict form also evaluates potential ties so tie-breaking sees
         # the same candidate pool as the unpruned variants).
@@ -313,7 +330,7 @@ def _select_best(
             tie = tie_of(u)
             if tie > best_tie:
                 best, best_tie = u, tie
-    return best, best_gain
+    return best, best_gain, False
 
 
 def _tie_function(

@@ -24,7 +24,8 @@ from collections.abc import Collection, Iterable
 from dataclasses import dataclass, field
 
 from repro.errors import AnchorNotFoundError
-from repro.graphs.graph import Graph, Vertex
+from repro.graphs.csr import bucket_coreness, csr_view, peel_layers
+from repro.graphs.graph import Graph, Vertex, vertex_sort_key
 from repro.verify import enabled as _verify_enabled
 from repro.verify import verification as _verification
 
@@ -114,21 +115,50 @@ def core_decomposition(
     """Coreness of every vertex via the Batagelj–Zaveršnik bucket algorithm.
 
     Anchors are never deleted (degree treated as infinite). Runs in
-    O(m + n). The returned decomposition has empty ``shell_layer`` and
-    ``order``; use :func:`peel_decomposition` when those are needed.
-    ``verify=True`` force-enables the runtime invariant checks for this
-    call (``None`` defers to ``REPRO_VERIFY``).
+    O(m + n), on the flat-array CSR kernel when the graph has a CSR view
+    (see :mod:`repro.graphs.csr`) and on the original dict-bucket
+    implementation otherwise — the two produce identical decompositions.
+    The returned decomposition has empty ``shell_layer`` and ``order``;
+    use :func:`peel_decomposition` when those are needed. ``verify=True``
+    force-enables the runtime invariant checks for this call (``None``
+    defers to ``REPRO_VERIFY``).
 
     Raises:
         AnchorNotFoundError: if any anchor vertex is absent from the graph.
     """
     anchor_set = frozenset(anchors)
     _require_anchors_present(graph, anchor_set)
-    n = graph.num_vertices
-    coreness: dict[Vertex, int] = {}
-    if n == 0:
-        return CoreDecomposition(coreness=coreness, anchors=anchor_set)
+    if graph.num_vertices == 0:
+        return CoreDecomposition(coreness={}, anchors=anchor_set)
 
+    csr = csr_view(graph)
+    if csr is None:
+        coreness = _bucket_coreness_dict(graph, anchor_set)
+    else:
+        anchor_ids = sorted(csr.index[a] for a in anchor_set)
+        coreness = dict(zip(csr.labels, bucket_coreness(csr, anchor_ids)))
+
+    _effective_anchor_coreness(graph, anchor_set, coreness)
+    result = CoreDecomposition(coreness=coreness, anchors=anchor_set)
+    with _verification(verify):
+        if _verify_enabled():
+            from repro.verify.invariants import verify_decomposition
+
+            verify_decomposition(graph, anchor_set, result)
+    return result
+
+
+def _bucket_coreness_dict(
+    graph: Graph, anchor_set: frozenset[Vertex]
+) -> dict[Vertex, int]:
+    """The dict-bucket Batagelj–Zaveršnik pass (pre-CSR implementation).
+
+    Fallback for graphs without a CSR view (unorderable labels,
+    ``REPRO_CSR=0``) and the reference the substrate benchmark measures
+    the CSR kernel against. Returns non-anchor coreness only; callers
+    run :func:`_effective_anchor_coreness` afterwards.
+    """
+    coreness: dict[Vertex, int] = {}
     degree: dict[Vertex, int] = {}
     max_deg = 0
     for u in graph.vertices():
@@ -145,7 +175,7 @@ def core_decomposition(
 
     processed: set[Vertex] = set()
     current_core = 0
-    remaining = n - len(anchor_set)
+    remaining = graph.num_vertices - len(anchor_set)
     d = 0
     while remaining > 0:
         while d <= max_deg and not buckets[d]:
@@ -168,15 +198,20 @@ def core_decomposition(
         # Degrees only drop, so the minimum can fall by at most 1 per step.
         if d > 0:
             d -= 1
+    return coreness
 
+
+def _core_decomposition_dict(
+    graph: Graph, anchors: Iterable[Vertex] = ()
+) -> CoreDecomposition:
+    """End-to-end dict-path core decomposition (bench/test reference)."""
+    anchor_set = frozenset(anchors)
+    _require_anchors_present(graph, anchor_set)
+    if graph.num_vertices == 0:
+        return CoreDecomposition(coreness={}, anchors=anchor_set)
+    coreness = _bucket_coreness_dict(graph, anchor_set)
     _effective_anchor_coreness(graph, anchor_set, coreness)
-    result = CoreDecomposition(coreness=coreness, anchors=anchor_set)
-    with _verification(verify):
-        if _verify_enabled():
-            from repro.verify.invariants import verify_decomposition
-
-            verify_decomposition(graph, anchor_set, result)
-    return result
+    return CoreDecomposition(coreness=coreness, anchors=anchor_set)
 
 
 def peel_decomposition(
@@ -197,6 +232,52 @@ def peel_decomposition(
     """
     anchor_set = frozenset(anchors)
     _require_anchors_present(graph, anchor_set)
+
+    csr = csr_view(graph)
+    if csr is None:
+        coreness, shell_layer, order = _peel_dict(graph, anchor_set)
+    else:
+        anchor_ids = sorted(csr.index[a] for a in anchor_set)
+        core, layer_of, id_order = peel_layers(csr, anchor_ids)
+        labels = csr.labels
+        coreness = {}
+        shell_layer = {}
+        order = []
+        for i in id_order:
+            u = labels[i]
+            coreness[u] = core[i]
+            shell_layer[u] = (core[i], layer_of[i])
+            order.append(u)
+
+    _effective_anchor_coreness(graph, anchor_set, coreness)
+    for a in sorted(anchor_set, key=_sort_key):
+        shell_layer[a] = (coreness[a], 0)
+        order.append(a)
+    result = CoreDecomposition(
+        coreness=coreness, shell_layer=shell_layer, order=order, anchors=anchor_set
+    )
+    with _verification(verify):
+        if _verify_enabled():
+            from repro.verify.invariants import (
+                verify_decomposition,
+                verify_shell_layers,
+            )
+
+            verify_decomposition(graph, anchor_set, result)
+            verify_shell_layers(graph, result)
+    return result
+
+
+def _peel_dict(
+    graph: Graph, anchor_set: frozenset[Vertex]
+) -> tuple[dict[Vertex, int], dict[Vertex, ShellLayer], list[Vertex]]:
+    """The dict-bucket batch peel (pre-CSR implementation).
+
+    Fallback for graphs without a CSR view and the reference the
+    substrate benchmark measures :func:`repro.graphs.csr.peel_layers`
+    against. Returns non-anchor coreness, shell layers, and deletion
+    order; callers append the anchor epilogue.
+    """
     coreness: dict[Vertex, int] = {}
     shell_layer: dict[Vertex, ShellLayer] = {}
     order: list[Vertex] = []
@@ -242,28 +323,29 @@ def peel_decomposition(
             frontier = sorted(set(next_frontier), key=_sort_key)
         k += 1
 
+    return coreness, shell_layer, order
+
+
+def _peel_decomposition_dict(
+    graph: Graph, anchors: Iterable[Vertex] = ()
+) -> CoreDecomposition:
+    """End-to-end dict-path peel decomposition (bench/test reference)."""
+    anchor_set = frozenset(anchors)
+    _require_anchors_present(graph, anchor_set)
+    coreness, shell_layer, order = _peel_dict(graph, anchor_set)
     _effective_anchor_coreness(graph, anchor_set, coreness)
     for a in sorted(anchor_set, key=_sort_key):
         shell_layer[a] = (coreness[a], 0)
         order.append(a)
-    result = CoreDecomposition(
+    return CoreDecomposition(
         coreness=coreness, shell_layer=shell_layer, order=order, anchors=anchor_set
     )
-    with _verification(verify):
-        if _verify_enabled():
-            from repro.verify.invariants import (
-                verify_decomposition,
-                verify_shell_layers,
-            )
-
-            verify_decomposition(graph, anchor_set, result)
-            verify_shell_layers(graph, result)
-    return result
 
 
-def _sort_key(u: Vertex):
-    """Deterministic vertex ordering key (ints sort numerically)."""
-    return (str(type(u)), u) if not isinstance(u, int) else ("", u)
+# The package-wide deterministic vertex ordering key; re-exported here
+# because every order-sensitive module historically imports it from this
+# module (the canonical definition lives with the Graph substrate).
+_sort_key = vertex_sort_key
 
 
 def k_core(graph: Graph, k: int, anchors: Iterable[Vertex] = ()) -> Graph:

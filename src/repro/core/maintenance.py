@@ -21,7 +21,8 @@ from __future__ import annotations
 from collections import deque
 
 from repro.core.decomposition import core_decomposition
-from repro.graphs.graph import Graph, Vertex
+from repro.errors import VerificationError
+from repro.graphs.graph import Graph, Vertex, vertex_sort_key
 
 
 class CoreMaintainer:
@@ -132,9 +133,20 @@ class CoreMaintainer:
 
     # ------------------------------------------------------------------
     def validate(self) -> None:
-        """Assert the maintained coreness equals a fresh decomposition."""
+        """Check the maintained coreness against a fresh decomposition.
+
+        Raises:
+            VerificationError: if any maintained value diverges. A bare
+                ``assert`` here would be compiled away under ``python -O``
+                and silently pass; this check must survive optimization.
+        """
         fresh = core_decomposition(self.graph).coreness
-        assert self.coreness == fresh, (
-            "incremental coreness diverged from recomputation: "
-            f"{ {u: (self.coreness[u], fresh[u]) for u in fresh if self.coreness[u] != fresh[u]} }"
-        )
+        if self.coreness != fresh:
+            diverged = {
+                u: (self.coreness.get(u), fresh.get(u))
+                for u in sorted(set(self.coreness) | set(fresh), key=vertex_sort_key)
+                if self.coreness.get(u) != fresh.get(u)
+            }
+            raise VerificationError(
+                f"incremental coreness diverged from recomputation: {diverged}"
+            )

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.decomposition import CoreDecomposition, _sort_key
+from repro.graphs.csr import CSRGraph, csr_view
 from repro.graphs.graph import Graph, Vertex
 
 NodeId = Vertex  # a tree node is identified by its smallest vertex id
@@ -115,7 +116,21 @@ class CoreComponentTree:
         every k-core, so two components joined only through an anchor
         are one component at every level (exactly the paper's Algorithm
         1 semantics, where anchors are never deleted).
+
+        Runs on the flat-array CSR view when the graph has one (see
+        :mod:`repro.graphs.csr`) and on the original dict union-find
+        otherwise; both produce the identical canonical tree.
         """
+        csr = csr_view(graph)
+        if csr is not None:
+            return cls._build_csr(csr, decomposition)
+        return cls._build_dict(graph, decomposition)
+
+    @classmethod
+    def _build_dict(
+        cls, graph: Graph, decomposition: CoreDecomposition
+    ) -> "CoreComponentTree":
+        """Dict union-find build (fallback + bench reference path)."""
         tree = cls()
         coreness = decomposition.coreness
         anchors = decomposition.anchors
@@ -167,14 +182,108 @@ class CoreComponentTree:
             survivors.update(new_nodes)
             current = survivors
 
-        for node in cls._iter_all(current.values()):
+        cls._canonicalize(tree, list(current.values()))
+        return tree
+
+    @classmethod
+    def _build_csr(
+        cls, csr: CSRGraph, decomposition: CoreDecomposition
+    ) -> "CoreComponentTree":
+        """Flat-array build: the same level sweep on list-based union-find.
+
+        Identical grouping logic to :meth:`_build_dict`, but vertices
+        are CSR ids, the union-find is two plain lists, and neighbor
+        scans walk the flat arrays. Only the final canonicalized nodes
+        carry original labels.
+        """
+        tree = cls()
+        coreness = decomposition.coreness
+        anchors = decomposition.anchors
+        labels = csr.labels
+        n = csr.num_vertices
+        indptr, nbrs = csr.as_lists()
+        core_arr = [0] * n
+        is_anchor = bytearray(n)
+        for i, u in enumerate(labels):
+            core_arr[i] = coreness[u]
+            if u in anchors:
+                is_anchor[i] = 1
+        by_coreness: dict[int, list[int]] = {}
+        for i in range(n):
+            if not is_anchor[i]:
+                by_coreness.setdefault(core_arr[i], []).append(i)
+
+        parent = list(range(n))
+        size = [1] * n
+        made = bytearray(n)
+
+        def find(u: int) -> int:
+            while parent[u] != u:
+                parent[u] = parent[parent[u]]
+                u = parent[u]
+            return u
+
+        def union(u: int, v: int) -> None:
+            ru, rv = find(u), find(v)
+            if ru == rv:
+                return
+            if size[ru] < size[rv]:
+                ru, rv = rv, ru
+            parent[rv] = ru
+            size[ru] += size[rv]
+
+        # Anchors join up front as universal connectors (cf. _build_dict).
+        for i in range(n):
+            if is_anchor[i]:
+                made[i] = 1
+                for j in range(indptr[i], indptr[i + 1]):
+                    v = nbrs[j]
+                    if is_anchor[v]:
+                        union(i, v)
+
+        current: dict[int, TreeNode] = {}
+        for k in sorted(by_coreness, reverse=True):
+            group = by_coreness[k]
+            for u in group:
+                made[u] = 1
+            for u in group:
+                for j in range(indptr[u], indptr[u + 1]):
+                    v = nbrs[j]
+                    if made[v] and (is_anchor[v] or core_arr[v] >= k):
+                        union(u, v)
+            new_nodes: dict[int, TreeNode] = {}
+            for u in group:
+                root = find(u)
+                node = new_nodes.get(root)
+                if node is None:
+                    node = TreeNode(k=k)
+                    new_nodes[root] = node
+                node.vertices.add(labels[u])
+            survivors: dict[int, TreeNode] = {}
+            for old_root, node in current.items():
+                root = find(old_root)
+                parent_node = new_nodes.get(root)
+                if parent_node is None:
+                    survivors[root] = node
+                else:
+                    node.parent = parent_node
+                    parent_node.children.append(node)
+            survivors.update(new_nodes)
+            current = survivors
+
+        cls._canonicalize(tree, list(current.values()))
+        return tree
+
+    @classmethod
+    def _canonicalize(cls, tree: "CoreComponentTree", roots: list[TreeNode]) -> None:
+        """Assign node ids, sort children, and index the finished forest."""
+        for node in cls._iter_all(roots):
             node.node_id = min(node.vertices, key=_sort_key)
             node.children.sort(key=lambda c: _sort_key(c.node_id))
             tree.nodes[node.node_id] = node
             for u in node.vertices:
                 tree.node_of[u] = node
-        tree.roots = sorted(current.values(), key=lambda nd: _sort_key(nd.node_id))
-        return tree
+        tree.roots = sorted(roots, key=lambda nd: _sort_key(nd.node_id))
 
     @staticmethod
     def _iter_all(roots) -> list[TreeNode]:
@@ -259,10 +368,25 @@ class TreeAdjacency:
         self.pn: dict[Vertex, set[NodeId]] = {}
         self.fixed_support: dict[Vertex, int] = {}
         self.same_shell: dict[Vertex, list[Vertex]] = {}
+        track_support = anchors is not None
+        csr = csr_view(graph)
+        if csr is not None:
+            self._fill_csr(csr, decomposition, tree, track_support=track_support)
+        else:
+            self._fill_dict(graph, decomposition, tree, track_support=track_support)
+
+    def _fill_dict(
+        self,
+        graph: Graph,
+        decomposition: CoreDecomposition,
+        tree: CoreComponentTree,
+        *,
+        track_support: bool,
+    ) -> None:
+        """The original adjacency-set pass (fallback + bench reference)."""
         coreness = decomposition.coreness
         node_of = tree.node_of
         anchor_set = decomposition.anchors
-        track_support = anchors is not None
         for u in graph.vertices():
             cu = coreness[u]
             tca_u: dict[NodeId, set[Vertex]] = {}
@@ -281,6 +405,74 @@ class TreeAdjacency:
                         fixed += 1
                     continue
                 nid = node_of[v].node_id
+                bucket = tca_u.get(nid)
+                if bucket is None:
+                    tca_u[nid] = {v}
+                else:
+                    bucket.add(v)
+                if cv >= cu:
+                    sn_u.add(nid)
+                else:
+                    pn_u.add(nid)
+                if track_support:
+                    if cv > cu:
+                        fixed += 1
+                    elif cv == cu:
+                        same.append(v)
+            self.tca[u] = tca_u
+            self.sn[u] = sn_u
+            self.pn[u] = pn_u
+            if track_support:
+                self.fixed_support[u] = fixed
+                self.same_shell[u] = same
+
+    def _fill_csr(
+        self,
+        csr: CSRGraph,
+        decomposition: CoreDecomposition,
+        tree: CoreComponentTree,
+        *,
+        track_support: bool,
+    ) -> None:
+        """Flat-array adjacency pass over the CSR view.
+
+        CSR rows are already in canonical (ascending-id = sorted-label)
+        order, so the per-vertex ``sorted(..., key=_sort_key)`` of the
+        dict pass disappears; coreness, anchor membership, and node ids
+        are resolved through flat per-id arrays instead of dict hops.
+        """
+        coreness = decomposition.coreness
+        anchor_set = decomposition.anchors
+        node_of = tree.node_of
+        labels = csr.labels
+        n = csr.num_vertices
+        indptr, nbrs = csr.as_lists()
+        core_arr = [0] * n
+        is_anchor = bytearray(n)
+        nid_arr: list[NodeId] = [None] * n
+        for i, u in enumerate(labels):
+            core_arr[i] = coreness[u]
+            if u in anchor_set:
+                is_anchor[i] = 1
+            else:
+                nid_arr[i] = node_of[u].node_id
+        for i in range(n):
+            u = labels[i]
+            cu = core_arr[i]
+            tca_u: dict[NodeId, set[Vertex]] = {}
+            sn_u: set[NodeId] = set()
+            pn_u: set[NodeId] = set()
+            fixed = 0
+            same: list[Vertex] = []
+            for j in range(indptr[i], indptr[i + 1]):
+                vi = nbrs[j]
+                if is_anchor[vi]:
+                    if track_support:
+                        fixed += 1
+                    continue
+                cv = core_arr[vi]
+                v = labels[vi]
+                nid = nid_arr[vi]
                 bucket = tca_u.get(nid)
                 if bucket is None:
                     tca_u[nid] = {v}

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from pathlib import Path
 
 
 def _cell(value: object) -> str:
@@ -117,3 +118,82 @@ def _jsonable(value: object) -> object:
     if isinstance(value, (int, float, str, bool)) or value is None:
         return value
     return str(value)
+
+
+@dataclass
+class PerfBaseline:
+    """Machine-readable perf baseline for the substrate fast path.
+
+    Serialized to ``BENCH_substrate.json`` at the repository root by
+    ``benchmarks/bench_perf_substrate.py``: one entry per substrate
+    primitive holding the dict-path and CSR-path wall-clock (best of
+    ``best_of`` repeats) and the resulting speedup, plus the replica's
+    sizes so timings can be normalized. ``schema`` is bumped whenever
+    the JSON layout changes so downstream consumers can detect drift.
+    """
+
+    name: str
+    dataset: str
+    num_vertices: int
+    num_edges: int
+    mode: str = "full"
+    best_of: int = 1
+    schema: int = 1
+    csr_build_s: float | None = None
+    primitives: list[dict[str, object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def record(self, primitive: str, dict_s: float, csr_s: float) -> dict[str, object]:
+        """Append one primitive's timings; speedup is ``dict_s / csr_s``."""
+        entry: dict[str, object] = {
+            "primitive": primitive,
+            "dict_s": round(dict_s, 6),
+            "csr_s": round(csr_s, 6),
+            "speedup": round(dict_s / csr_s, 3) if csr_s > 0 else None,
+        }
+        self.primitives.append(entry)
+        return entry
+
+    def speedup(self, primitive: str) -> float | None:
+        """The recorded speedup for ``primitive`` (None if absent)."""
+        for entry in self.primitives:
+            if entry["primitive"] == primitive:
+                value = entry["speedup"]
+                return float(value) if isinstance(value, (int, float)) else None
+        return None
+
+    def as_table(self) -> Table:
+        """A printable view of the recorded primitives."""
+        table = Table(
+            title=f"substrate perf baseline — {self.dataset} "
+            f"(n={self.num_vertices}, m={self.num_edges}, "
+            f"best of {self.best_of}, {self.mode})",
+            headers=["primitive", "dict_s", "csr_s", "speedup"],
+        )
+        for entry in self.primitives:
+            table.rows.append(
+                [entry["primitive"], entry["dict_s"], entry["csr_s"], entry["speedup"]]
+            )
+        return table
+
+    def to_json(self) -> str:
+        payload = {
+            "name": self.name,
+            "schema": self.schema,
+            "mode": self.mode,
+            "dataset": {
+                "name": self.dataset,
+                "num_vertices": self.num_vertices,
+                "num_edges": self.num_edges,
+            },
+            "best_of": self.best_of,
+            "csr_build_s": self.csr_build_s,
+            "primitives": self.primitives,
+            "notes": list(self.notes),
+        }
+        return json.dumps(payload, indent=1)
+
+    def write(self, path: Path) -> Path:
+        """Persist the JSON payload (trailing newline included)."""
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path

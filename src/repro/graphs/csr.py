@@ -1,0 +1,350 @@
+"""An interned, immutable CSR (flat-array) view of a :class:`Graph`.
+
+The adjacency-set :class:`~repro.graphs.graph.Graph` is the mutable
+substrate every algorithm accepts, but its hot loops pay for pointer
+chasing through ``dict[Vertex, set[Vertex]]`` on every neighbor scan.
+This module provides the compressed-sparse-row snapshot that the
+substrate kernels (Batagelj–Zaveršnik bucket decomposition, the batch
+peel, the core-component-tree build, and the tree-adjacency pass) run
+against instead:
+
+* vertices are interned to contiguous ``int`` ids ``0..n-1`` assigned in
+  :func:`~repro.graphs.graph.vertex_sort_key` order, so ascending-id
+  order *is* the package's canonical deterministic vertex order;
+* ``indptr`` / ``neighbors`` are ``array('i')`` flat arrays (the classic
+  CSR pair), each neighbor row sorted by id;
+* ``labels`` / ``index`` translate new ids back to the original labels
+  and vice versa, so results leave this module keyed exactly as the
+  dict-based implementations produced them.
+
+Views are *interned*: :func:`csr_view` caches the snapshot on the graph
+itself, keyed by the graph's mutation counter, so repeated
+decompositions of the same (unmutated) graph — the common case in the
+greedy anchor loops — build the flat arrays once. Graphs with mutually
+unorderable labels (where sorted interning is impossible) simply have no
+CSR view; callers fall back to the dict implementations. Setting the
+environment variable ``REPRO_CSR=0`` disables the view globally, which
+forces every caller onto the dict paths (the benchmark suite uses this
+to measure the speedup).
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from collections.abc import Iterable
+from typing import cast
+
+from repro.graphs.graph import Graph, Vertex, vertex_sort_key
+
+
+class CSRGraph:
+    """Immutable compressed-sparse-row snapshot of a :class:`Graph`.
+
+    Attributes:
+        num_vertices: ``n``.
+        num_edges: ``m`` (each undirected edge stored twice).
+        indptr: ``array('i')`` of length ``n + 1``; the neighbor row of
+            id ``i`` is ``neighbors[indptr[i]:indptr[i + 1]]``.
+        neighbors: ``array('i')`` of length ``2m``, rows sorted
+            ascending. ``array('i')`` bounds the supported size at
+            ``2m < 2**31`` — far beyond what pure-Python loops handle.
+        labels: new id -> original vertex label (ascending
+            :func:`vertex_sort_key` order).
+        index: original vertex label -> new id.
+    """
+
+    __slots__ = (
+        "num_vertices",
+        "num_edges",
+        "indptr",
+        "neighbors",
+        "labels",
+        "index",
+        "_lists",
+        "_rows",
+    )
+
+    def __init__(
+        self,
+        indptr: "array[int]",
+        neighbors: "array[int]",
+        labels: list[Vertex],
+        index: dict[Vertex, int],
+    ) -> None:
+        self.num_vertices = len(labels)
+        self.num_edges = len(neighbors) // 2
+        self.indptr = indptr
+        self.neighbors = neighbors
+        self.labels = labels
+        self.index = index
+        self._lists: tuple[list[int], list[int]] | None = None
+        self._rows: list[list[int]] | None = None
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "CSRGraph":
+        """Snapshot ``graph`` with deterministic sorted interning.
+
+        Raises:
+            TypeError: if the vertex labels are mutually unorderable
+                (no canonical id assignment exists); callers should
+                treat this as "no CSR view available".
+        """
+        labels = sorted(graph.vertices(), key=vertex_sort_key)
+        index = {u: i for i, u in enumerate(labels)}
+        flat: list[int] = []
+        ptr: list[int] = [0]
+        for u in labels:
+            flat.extend(sorted(index[v] for v in graph.neighbors(u)))
+            ptr.append(len(flat))
+        return cls(array("i", ptr), array("i", flat), labels, index)
+
+    # ------------------------------------------------------------------
+    def degree(self, i: int) -> int:
+        """Degree of id ``i``."""
+        return self.indptr[i + 1] - self.indptr[i]
+
+    def row(self, i: int) -> "array[int]":
+        """The (ascending) neighbor ids of id ``i``."""
+        return self.neighbors[self.indptr[i] : self.indptr[i + 1]]
+
+    def as_lists(self) -> tuple[list[int], list[int]]:
+        """Plain-list mirrors of ``(indptr, neighbors)`` for hot kernels.
+
+        CPython indexes and slice-iterates ``list`` faster than
+        ``array('i')`` (array access re-boxes every element); the
+        kernels below run on these mirrors, built once per view.
+        """
+        lists = self._lists
+        if lists is None:
+            lists = (list(self.indptr), list(self.neighbors))
+            self._lists = lists
+        return lists
+
+    def rows(self) -> list[list[int]]:
+        """Per-id neighbor rows as plain lists, built once per view.
+
+        The decomposition kernels scan every row on every call; slicing
+        ``neighbors`` per vertex per call would re-allocate ``n`` lists
+        each time, so the interned view amortizes the row lists too.
+        """
+        rows = self._rows
+        if rows is None:
+            indptr, nbrs = self.as_lists()
+            rows = [nbrs[indptr[i] : indptr[i + 1]] for i in range(self.num_vertices)]
+            self._rows = rows
+        return rows
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(n={self.num_vertices}, m={self.num_edges})"
+
+
+def csr_enabled() -> bool:
+    """Whether the CSR fast paths are active (``REPRO_CSR=0`` disables)."""
+    return os.environ.get("REPRO_CSR", "1") != "0"
+
+
+def csr_view(graph: Graph) -> CSRGraph | None:
+    """The interned CSR view of ``graph``, or ``None`` if unavailable.
+
+    The view is cached on the graph keyed by its mutation counter: any
+    mutation invalidates it and the next call re-interns. ``None`` is
+    returned (and also cached) when the labels are mutually unorderable,
+    or unconditionally when ``REPRO_CSR=0``.
+    """
+    if not csr_enabled():
+        return None
+    version = graph._version
+    cached = graph._csr_cache
+    if cached is not None and cached[0] == version:
+        return cast("CSRGraph | None", cached[1])
+    try:
+        view: CSRGraph | None = CSRGraph.from_graph(graph)
+    except TypeError:
+        view = None
+    graph._csr_cache = (version, view)
+    return view
+
+
+# ----------------------------------------------------------------------
+# Flat-array substrate kernels (operate purely on CSR ids)
+# ----------------------------------------------------------------------
+def bucket_coreness(csr: CSRGraph, anchor_ids: Iterable[int] = ()) -> list[int]:
+    """Coreness per id via the Batagelj–Zaveršnik O(m) bucket algorithm.
+
+    The textbook flat-array formulation: ids counting-sorted by degree
+    into ``vert`` with per-degree bin starts, processed left to right;
+    decrementing a neighbor swaps it to its bin front and advances the
+    bin. Anchored ids are never processed or decremented (their degree
+    is treated as infinite); their slots in the returned list stay 0 —
+    callers assign effective anchor coreness from the non-anchor values.
+    """
+    n = csr.num_vertices
+    core = [0] * n
+    if n == 0:
+        return core
+    rows = csr.rows()
+    is_anchor = bytearray(n)
+    anchored = 0
+    for a in anchor_ids:
+        if not is_anchor[a]:
+            is_anchor[a] = 1
+            anchored += 1
+
+    deg = [len(row) for row in rows]
+    free = n - anchored
+    if free == 0:
+        return core
+    if anchored:
+        max_deg = max(d for u, d in enumerate(deg) if not is_anchor[u])
+    else:
+        max_deg = max(deg)
+
+    # Counting sort of non-anchor ids by degree: vert is sorted by
+    # current degree throughout, pos[u] is u's slot, bin_start[d] the
+    # first slot of degree-d ids.
+    counts = [0] * (max_deg + 1)
+    for u in range(n):
+        if not is_anchor[u]:
+            counts[deg[u]] += 1
+    bin_start = [0] * (max_deg + 1)
+    total = 0
+    for d in range(max_deg + 1):
+        bin_start[d] = total
+        total += counts[d]
+    fill = bin_start.copy()
+    pos = [0] * n
+    vert = [0] * free
+    for u in range(n):
+        if not is_anchor[u]:
+            p = fill[deg[u]]
+            fill[deg[u]] = p + 1
+            vert[p] = u
+            pos[u] = p
+
+    if anchored:
+        for i in range(free):
+            v = vert[i]
+            dv = deg[v]
+            core[v] = dv
+            for u in rows[v]:
+                du = deg[u]
+                # du > dv implies u is unprocessed and non-anchor degrees
+                # never drop below the current level, so processed ids
+                # keep their final coreness in deg[].
+                if du > dv and not is_anchor[u]:
+                    pu = pos[u]
+                    sw = bin_start[du]
+                    if pu != sw:
+                        w = vert[sw]
+                        vert[pu] = w
+                        pos[w] = pu
+                        vert[sw] = u
+                        pos[u] = sw
+                    bin_start[du] = sw + 1
+                    deg[u] = du - 1
+    else:
+        # Anchor-free specialization of the identical loop: no mask test
+        # on the (hot) per-edge path.
+        for i in range(free):
+            v = vert[i]
+            dv = deg[v]
+            core[v] = dv
+            for u in rows[v]:
+                du = deg[u]
+                if du > dv:
+                    pu = pos[u]
+                    sw = bin_start[du]
+                    if pu != sw:
+                        w = vert[sw]
+                        vert[pu] = w
+                        pos[w] = pu
+                        vert[sw] = u
+                        pos[u] = sw
+                    bin_start[du] = sw + 1
+                    deg[u] = du - 1
+    return core
+
+
+def peel_layers(
+    csr: CSRGraph, anchor_ids: Iterable[int] = ()
+) -> tuple[list[int], list[int], list[int]]:
+    """Algorithm-1 batch peel per id: coreness, shell layer, and order.
+
+    Mirrors the dict implementation batch for batch: round ``k`` deletes
+    successive frontiers of ids with degree below ``k``; the 1-based
+    frontier number within the round is the id's shell layer, frontiers
+    are consumed in ascending id order (= canonical label order under
+    sorted interning). Anchors are excluded entirely — their slots stay
+    0 and they never appear in the returned order.
+
+    Buckets are lazy append-only lists: an id is appended to
+    ``buckets[d]`` when its degree *becomes* ``d``, and stale entries
+    (degree moved on) are skipped at collection time, replacing the
+    dict path's per-decrement ``set.discard``/``set.add`` pair with one
+    ``list.append``.
+    """
+    n = csr.num_vertices
+    core = [0] * n
+    layer_of = [0] * n
+    order: list[int] = []
+    if n == 0:
+        return core, layer_of, order
+    rows = csr.rows()
+    is_anchor = bytearray(n)
+    for a in anchor_ids:
+        is_anchor[a] = 1
+    alive = bytearray(n)
+    deg = [0] * n
+    max_deg = 0
+    remaining = 0
+    for u in range(n):
+        if is_anchor[u]:
+            continue
+        alive[u] = 1
+        d = len(rows[u])
+        deg[u] = d
+        if d > max_deg:
+            max_deg = d
+        remaining += 1
+
+    buckets: list[list[int]] = [[] for _ in range(max_deg + 1)]
+    for u in range(n):
+        if alive[u]:
+            buckets[deg[u]].append(u)
+
+    k = 1
+    while remaining > 0:
+        b = k - 1
+        pending = buckets[b]
+        buckets[b] = []
+        # Exact-degree check drops stale entries; every alive id of
+        # degree b was appended to buckets[b] when it reached degree b.
+        frontier = [u for u in pending if alive[u] and deg[u] == b]
+        frontier.sort()
+        layer = 0
+        while frontier:
+            layer += 1
+            for u in frontier:
+                core[u] = b
+                layer_of[u] = layer
+                alive[u] = 0
+            order.extend(frontier)
+            remaining -= len(frontier)
+            nxt: list[int] = []
+            for u in frontier:
+                for v in rows[u]:
+                    if alive[v]:
+                        dv = deg[v] - 1
+                        deg[v] = dv
+                        if dv == b:
+                            # joins the very next frontier of this shell
+                            # (unit decrements: this happens once per id)
+                            nxt.append(v)
+                        elif dv > b:
+                            buckets[dv].append(v)
+                        # dv < b: already queued via its b-crossing
+            nxt.sort()
+            frontier = nxt
+        k += 1
+    return core, layer_of, order

@@ -17,6 +17,19 @@ Vertex = Hashable
 Edge = tuple[Vertex, Vertex]
 
 
+def vertex_sort_key(u: Vertex) -> tuple[str, object]:
+    """Deterministic vertex ordering key (ints sort numerically, first).
+
+    The canonical ordering every deterministic structure in the package
+    uses: ``int`` labels compare numerically and sort before any other
+    type; remaining labels group by type name and compare within the
+    group. Mutually unorderable labels (e.g. ``complex``) raise
+    ``TypeError`` when sorted, which the CSR interning treats as "no
+    flat view available".
+    """
+    return ("", u) if isinstance(u, int) else (str(type(u)), u)
+
+
 class Graph:
     """An undirected simple graph backed by per-vertex adjacency sets.
 
@@ -27,11 +40,16 @@ class Graph:
         set(g.neighbors(2))  # {1, 3}
     """
 
-    __slots__ = ("_adj", "_num_edges")
+    __slots__ = ("_adj", "_num_edges", "_version", "_csr_cache")
 
     def __init__(self, edges: Iterable[Edge] | None = None) -> None:
         self._adj: dict[Vertex, set[Vertex]] = {}
         self._num_edges: int = 0
+        # Mutation counter + interned flat view, managed by
+        # ``repro.graphs.csr.csr_view``: the cache is ``(version, view)``
+        # and is discarded whenever ``_version`` moves past it.
+        self._version: int = 0
+        self._csr_cache: tuple[int, object] | None = None
         if edges is not None:
             for u, v in edges:
                 self.add_edge(u, v)
@@ -73,6 +91,7 @@ class Graph:
         """Add an isolated vertex; a no-op if it already exists."""
         if u not in self._adj:
             self._adj[u] = set()
+            self._version += 1
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
         """Add the undirected edge ``(u, v)``, creating endpoints as needed.
@@ -89,6 +108,7 @@ class Graph:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._num_edges += 1
+        self._version += 1
 
     def add_edge_if_absent(self, u: Vertex, v: Vertex) -> bool:
         """Add edge ``(u, v)`` unless it exists or is a loop; report success."""
@@ -108,6 +128,7 @@ class Graph:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._num_edges -= 1
+        self._version += 1
 
     def remove_vertex(self, u: Vertex) -> None:
         """Remove ``u`` and all its incident edges.
@@ -121,6 +142,7 @@ class Graph:
             self._adj[v].discard(u)
         self._num_edges -= len(self._adj[u])
         del self._adj[u]
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Queries

@@ -53,12 +53,17 @@ def read_edge_list(path: str | Path) -> Graph:
     """Load an undirected simple graph from an edge-list file.
 
     Self-loops and duplicate edges (including reversed duplicates, as in
-    directed dumps of undirected graphs) are silently dropped, matching
-    how the paper treats the SNAP/KONECT datasets.
+    directed dumps of undirected graphs) are dropped, matching how the
+    paper treats the SNAP/KONECT datasets. A dropped self-loop still
+    registers its endpoint as an (isolated) vertex: a vertex whose only
+    data line is ``u u`` must exist in the loaded graph, not vanish.
     """
     graph = Graph()
     for u, v in iter_edge_list(path):
-        graph.add_edge_if_absent(u, v)
+        if u == v:
+            graph.add_vertex(u)
+        else:
+            graph.add_edge_if_absent(u, v)
     return graph
 
 

@@ -91,6 +91,31 @@ class TestGreedyBehaviour:
         assert res.truncated
         assert len(res.anchors) < 50
 
+    def test_time_limit_expires_mid_iteration(self, monkeypatch):
+        """Regression: the deadline is honoured *inside* the candidate
+        scan, and an iteration cut off mid-scan records no partial
+        winner. A fake clock advancing one second per reading makes the
+        very first candidate check overshoot a generous limit that the
+        iteration-boundary check alone would never notice."""
+        import sys
+
+        # the re-exported ``gac`` function shadows the submodule on
+        # attribute access; go through sys.modules instead
+        gac_module = sys.modules["repro.anchors.gac"]
+        ticks = iter(range(10_000))
+
+        class FakeTime:
+            @staticmethod
+            def perf_counter():
+                return float(next(ticks))
+
+        monkeypatch.setattr(gac_module, "time", FakeTime)
+        g = small_random_graph(0, n=60, m=150)
+        res = greedy_anchored_coreness(g, 50, time_limit=5.0)
+        assert res.truncated
+        assert res.anchors == []  # expired mid-scan: no partial winner
+        assert res.gains == []
+
 
 class TestValidation:
     def test_negative_budget(self):

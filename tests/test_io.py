@@ -46,6 +46,19 @@ def test_duplicates_and_loops_dropped(tmp_path):
     assert g.num_edges == 1
 
 
+def test_self_loop_only_vertex_kept(tmp_path):
+    """Regression: a vertex whose only data line is a self-loop must
+    still exist in the loaded graph (as an isolated vertex), not vanish."""
+    path = tmp_path / "g.txt"
+    path.write_text("5 5\n1 2\n2 1\n3 3\n1 1\n")
+    g = read_edge_list(path)
+    assert set(g.vertices()) == {1, 2, 3, 5}
+    assert g.num_edges == 1
+    assert g.degree(3) == 0
+    assert g.degree(5) == 0
+    assert g.has_edge(1, 2)
+
+
 def test_malformed_line_raises(tmp_path):
     path = tmp_path / "g.txt"
     path.write_text("1\n")

@@ -5,6 +5,7 @@ import random
 import pytest
 
 from repro.core.maintenance import CoreMaintainer
+from repro.errors import VerificationError
 from repro.graphs.generators import clique, gnm_random_graph
 from repro.graphs.graph import Graph
 
@@ -122,3 +123,22 @@ class TestMixedWorkload:
         m.remove_edge(0, 999)
         for u in g.vertices():
             assert m.coreness[u] == before[u]
+
+
+class TestValidate:
+    def test_corrupted_coreness_raises(self, triangle):
+        """Regression: validate() must raise even under ``python -O``
+        (it used a bare assert, which -O compiles away)."""
+        m = CoreMaintainer(triangle)
+        m.coreness[0] += 1
+        with pytest.raises(VerificationError, match="diverged"):
+            m.validate()
+
+    def test_missing_vertex_raises(self, triangle):
+        m = CoreMaintainer(triangle)
+        del m.coreness[2]
+        with pytest.raises(VerificationError, match="diverged"):
+            m.validate()
+
+    def test_clean_state_passes(self, triangle):
+        CoreMaintainer(triangle).validate()

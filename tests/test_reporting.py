@@ -1,6 +1,6 @@
 """Tests for the experiment reporting primitives."""
 
-from repro.experiments.reporting import BarChart, ExperimentResult, Table
+from repro.experiments.reporting import BarChart, ExperimentResult, PerfBaseline, Table
 
 
 class TestTable:
@@ -70,3 +70,55 @@ class TestJsonExport:
         assert payload["tables"][0]["rows"][0][0] == 1
         assert isinstance(payload["tables"][0]["rows"][0][1], str)
         assert payload["notes"] == ["n"]
+
+
+class TestPerfBaseline:
+    def _baseline(self):
+        baseline = PerfBaseline(
+            name="substrate-perf-baseline",
+            dataset="toy",
+            num_vertices=10,
+            num_edges=20,
+            mode="smoke",
+            best_of=3,
+        )
+        baseline.record("bucket_decomposition", dict_s=0.04, csr_s=0.01)
+        baseline.record("zero_guard", dict_s=0.5, csr_s=0.0)
+        return baseline
+
+    def test_record_and_speedup(self):
+        baseline = self._baseline()
+        speedup = baseline.speedup("bucket_decomposition")
+        assert speedup == 4.0  # lint: float-eq-ok round(3) exact
+        assert baseline.speedup("zero_guard") is None  # csr_s == 0 guarded
+        assert baseline.speedup("missing") is None
+
+    def test_json_roundtrip(self, tmp_path):
+        import json
+
+        baseline = self._baseline()
+        baseline.csr_build_s = 0.002
+        baseline.notes.append("a note")
+        path = baseline.write(tmp_path / "BENCH_substrate.json")
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 1
+        assert payload["mode"] == "smoke"
+        assert payload["dataset"] == {
+            "name": "toy",
+            "num_vertices": 10,
+            "num_edges": 20,
+        }
+        assert payload["csr_build_s"] == 0.002  # lint: float-eq-ok exact json
+        assert payload["primitives"][0] == {
+            "primitive": "bucket_decomposition",
+            "dict_s": 0.04,
+            "csr_s": 0.01,
+            "speedup": 4.0,
+        }
+        assert payload["notes"] == ["a note"]
+
+    def test_as_table(self):
+        table = self._baseline().as_table()
+        assert "toy" in table.title
+        assert table.headers == ["primitive", "dict_s", "csr_s", "speedup"]
+        assert len(table.rows) == 2

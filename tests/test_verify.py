@@ -279,8 +279,8 @@ class TestPipelineHooks:
         real = gac_module._select_best
 
         def lying_select(state, cache, counters, **kwargs):
-            best, gain = real(state, cache, counters, **kwargs)
-            return best, gain + 1 if best is not None else gain
+            best, gain, expired = real(state, cache, counters, **kwargs)
+            return best, (gain + 1 if best is not None else gain), expired
 
         monkeypatch.setattr(gac_module, "_select_best", lying_select)
         g = small_random_graph(5, n=20, m=40)
@@ -293,8 +293,8 @@ class TestPipelineHooks:
         real = gac_module._select_best
 
         def lying_select(state, cache, counters, **kwargs):
-            best, gain = real(state, cache, counters, **kwargs)
-            return best, gain + 1 if best is not None else gain
+            best, gain, expired = real(state, cache, counters, **kwargs)
+            return best, (gain + 1 if best is not None else gain), expired
 
         monkeypatch.setattr(gac_module, "_select_best", lying_select)
         monkeypatch.setenv("REPRO_VERIFY", "1")
