@@ -8,6 +8,14 @@ over the dict implementations. The CI smoke job runs this on a reduced
 replica and fails if the CSR path regresses below the dict path;
 regressions here multiply through every experiment.
 
+A separate *profiled* pass re-runs the primitives with :mod:`repro.obs`
+tracing forced on: its phase profile is merged into the baseline JSON
+(``phases``, schema 2) and the span events are written out as a Chrome
+trace-event artifact next to it (``BENCH_substrate_trace.json``), which
+CI validates and uploads. The timed passes themselves run with tracing
+forced *off* so the recorded numbers measure the kernels, not the
+collector.
+
 Environment knobs:
     REPRO_BENCH_SMOKE=1   reduced replica + fewer repeats (the CI mode)
     REPRO_BENCH_DATASET   override the replica name
@@ -20,6 +28,7 @@ from pathlib import Path
 
 from conftest import run_once
 
+from repro import obs
 from repro.anchors.followers import find_followers
 from repro.anchors.state import AnchoredState
 from repro.core.decomposition import core_decomposition, peel_decomposition
@@ -36,6 +45,7 @@ BEST_OF = 3 if SMOKE else 5
 FOLLOWER_SAMPLE = 100 if SMOKE else 400
 _DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
 OUT_PATH = Path(os.environ.get("REPRO_BENCH_OUT", _DEFAULT_OUT))
+TRACE_PATH = OUT_PATH.with_name(OUT_PATH.stem + "_trace.json")
 
 
 def _best_of(fn, reps):
@@ -51,11 +61,16 @@ def _best_of(fn, reps):
 
 
 def _timed_with_csr(enabled, fn, reps=BEST_OF):
-    """Best-of timing of ``fn`` with the CSR view forced on or off."""
+    """Best-of timing of ``fn`` with the CSR view forced on or off.
+
+    Tracing is forced off so the numbers measure the kernels on the
+    no-op span path (the production configuration), not the collector.
+    """
     previous = os.environ.get("REPRO_CSR")
     os.environ["REPRO_CSR"] = "1" if enabled else "0"
     try:
-        return _best_of(fn, reps)
+        with obs.tracing(False):
+            return _best_of(fn, reps)
     finally:
         if previous is None:
             del os.environ["REPRO_CSR"]
@@ -119,6 +134,22 @@ def _run():
         "dict_s/csr_s are best-of wall-clock seconds; csr timings use a warm "
         "interned view (build cost reported once as csr_build_s)"
     )
+
+    # Profiled pass: the same primitives once more, traced. The phase
+    # profile is merged into the baseline and the raw spans become the
+    # Chrome trace artifact CI validates and uploads.
+    window = obs.window()
+    with obs.tracing(True):
+        core_decomposition(graph)
+        peel_decomposition(graph)
+        for u in sample[: 25 if SMOKE else 100]:
+            find_followers(state, u)
+    obs.record_phases(baseline, obs.phase_profile(window.events()))
+    obs.write_chrome_trace(TRACE_PATH, window.events(), window.counters())
+    baseline.notes.append(
+        "phases come from a single traced pass (repro.obs); the timed "
+        "passes above run with tracing forced off"
+    )
     baseline.write(OUT_PATH)
     return baseline
 
@@ -140,3 +171,24 @@ def test_substrate_throughput(benchmark):
     assert timings["tree_and_adjacency"]["csr_s"] < 8.0
     assert timings["follower_search"]["csr_s"] < 20.0
     assert OUT_PATH.exists()
+
+    # The traced pass must have produced a non-trivial profile and a
+    # well-formed Chrome trace artifact.
+    phase_names = {row["phase"] for row in baseline.phases}
+    assert "decomposition.bucket" in phase_names
+    assert "decomposition.peel" in phase_names
+    assert obs.validate_chrome_trace(TRACE_PATH) == []
+
+    # Disabled-instrumentation overhead gate: per decomposition call the
+    # obs hooks cost one no-op span plus two counter adds. That fixed
+    # cost must stay below 2% of the bucket kernel itself.
+    with obs.tracing(False):
+        reps = 10_000
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            with obs.span("bench.noop", n=0):
+                pass
+            obs.add(obs.BUCKET_POPS, 0)
+            obs.add(obs.CSR_CACHE_HITS, 0)
+        per_call = (time.perf_counter() - t0) / reps
+    assert per_call < 0.02 * timings["bucket_decomposition"]["csr_s"]

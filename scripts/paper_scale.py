@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -24,6 +23,7 @@ from repro.core.decomposition import core_decomposition
 from repro.datasets import registry
 from repro.experiments import fig6
 from repro.experiments.reporting import ExperimentResult, Table
+from repro.obs import clock as _clock
 from repro.olak.olak import olak
 
 
@@ -52,9 +52,9 @@ def main(argv: list[str] | None = None) -> int:
 
     for name in names:
         graph = registry.load(name)
-        t0 = time.perf_counter()
+        t0 = _clock()
         gains = fig6.gains_by_budget(graph, [args.budget])
-        elapsed = time.perf_counter() - t0
+        elapsed = _clock() - t0
         row = {m: gains[m][args.budget] for m in fig6.HEURISTIC_ORDER}
         fig6_table.rows.append(
             [registry.spec(name).display, *row.values(), round(elapsed, 1)]

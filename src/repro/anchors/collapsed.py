@@ -15,13 +15,13 @@ remaining graph.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.cascade import departure_cascade
 from repro.core.decomposition import _sort_key, core_decomposition
 from repro.errors import BudgetError
 from repro.graphs.graph import Graph, Vertex
+from repro.obs import clock as _clock
 
 
 @dataclass
@@ -68,7 +68,7 @@ def greedy_collapsed_kcore(graph: Graph, k: int, budget: int) -> CollapsedResult
         raise BudgetError(f"budget {budget} invalid for n={graph.num_vertices}")
     if k < 1:
         raise ValueError(f"k must be positive, got {k}")
-    start = time.perf_counter()
+    start = _clock()
 
     base = core_decomposition(graph)
     core = {u for u, c in base.coreness.items() if c >= k}
@@ -94,5 +94,5 @@ def greedy_collapsed_kcore(graph: Graph, k: int, budget: int) -> CollapsedResult
         result.collapsers.append(best)
         result.evictions.append(best_loss)
     result.final_core_size = len(current)
-    result.elapsed_seconds = time.perf_counter() - start
+    result.elapsed_seconds = _clock() - start
     return result

@@ -12,7 +12,6 @@ search.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
@@ -22,6 +21,7 @@ from repro.anchors.state import AnchoredState
 from repro.core.decomposition import _sort_key, core_decomposition
 from repro.errors import BudgetError
 from repro.graphs.graph import Graph, Vertex
+from repro.obs import clock as _clock
 
 
 def uniform_costs(graph: Graph, cost: float = 1.0) -> dict[Vertex, float]:
@@ -107,7 +107,7 @@ def _greedy(
     costs: Mapping[Vertex, float],
     strategy: str,
 ) -> BudgetedResult:
-    start = time.perf_counter()
+    start = _clock()
     result = BudgetedResult(strategy=strategy)
     base_coreness = dict(core_decomposition(graph).coreness)
     anchors: list[Vertex] = []
@@ -141,7 +141,7 @@ def _greedy(
         result.anchors.append(best)
         result.gains.append(best_gain)
         result.costs.append(costs.get(best, 1.0))
-    result.elapsed_seconds = time.perf_counter() - start
+    result.elapsed_seconds = _clock() - start
     return result
 
 

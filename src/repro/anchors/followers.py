@@ -18,6 +18,7 @@ import heapq
 from collections.abc import Collection, Mapping
 from dataclasses import dataclass, field
 
+from repro import obs as _obs
 from repro.anchors.state import AnchoredState
 from repro.core.decomposition import CoreDecomposition, _sort_key, core_decomposition
 from repro.core.tree import NodeId
@@ -33,7 +34,16 @@ _DISCARDED = 3
 
 @dataclass
 class FollowerCounters:
-    """Instrumentation matching the paper's Figure 13 measurements."""
+    """Instrumentation matching the paper's Figure 13 measurements.
+
+    Since the :mod:`repro.obs` registry became the single home for work
+    counters this class is a thin façade kept for API compatibility:
+    the search code reports into the registry, and per-scope values are
+    read back out through :meth:`from_window` (a registry delta). The
+    explicit ``counters=`` accumulator threaded through
+    :func:`find_followers` still works for callers that want a local
+    tally without scoping a window.
+    """
 
     explored_nodes: int = 0  # tree nodes searched from scratch
     reused_nodes: int = 0  # tree nodes answered from the cache
@@ -47,6 +57,17 @@ class FollowerCounters:
         self.visited_vertices += other.visited_vertices
         self.pruned_candidates += other.pruned_candidates
         self.evaluated_candidates += other.evaluated_candidates
+
+    @classmethod
+    def from_window(cls, window: _obs.Window) -> "FollowerCounters":
+        """The counters accumulated in the registry since ``window`` opened."""
+        return cls(
+            explored_nodes=window.counter(_obs.EXPLORED_NODES),
+            reused_nodes=window.counter(_obs.REUSED_NODES),
+            visited_vertices=window.counter(_obs.VISITED_VERTICES),
+            pruned_candidates=window.counter(_obs.PRUNED_CANDIDATES),
+            evaluated_candidates=window.counter(_obs.EVALUATED_CANDIDATES),
+        )
 
 
 @dataclass
@@ -106,19 +127,23 @@ def find_followers(
         raise ValueError(f"candidate {x!r} is already anchored")
     report = FollowerReport(anchor=x)
     own_node = state.node_id(x)
-    for nid in sorted(state.sn(x), key=_sort_key):
-        if only_coreness is not None and state.tree.nodes[nid].k != only_coreness:
-            continue
-        if reusable_counts is not None and nid in reusable_counts:
-            report.counts[nid] = reusable_counts[nid]
+    with _obs.span("followers.search", anchor=x):
+        for nid in sorted(state.sn(x), key=_sort_key):
+            if only_coreness is not None and state.tree.nodes[nid].k != only_coreness:
+                continue
+            if reusable_counts is not None and nid in reusable_counts:
+                report.counts[nid] = reusable_counts[nid]
+                _obs.add(_obs.REUSED_NODES)
+                if counters is not None:
+                    counters.reused_nodes += 1
+                continue
+            survivors = _explore_node(state, x, nid, nid == own_node, counters)
+            report.counts[nid] = len(survivors)
+            report.members[nid] = survivors
+            _obs.add(_obs.EXPLORED_NODES)
             if counters is not None:
-                counters.reused_nodes += 1
-            continue
-        survivors = _explore_node(state, x, nid, nid == own_node, counters)
-        report.counts[nid] = len(survivors)
-        report.members[nid] = survivors
-        if counters is not None:
-            counters.explored_nodes += 1
+                counters.explored_nodes += 1
+    _obs.add(_obs.EVALUATED_CANDIDATES)
     if counters is not None:
         counters.evaluated_candidates += 1
     # With nothing reused and no shell restriction the report is complete:
@@ -164,12 +189,12 @@ def _explore_node(
         status[v] = _IN_HEAP
         heapq.heappush(heap, (pairs[v], _sort_key(v), v))
 
+    pops = 0
     while heap:
         _, _, u = heapq.heappop(heap)
         if status.get(u) != _IN_HEAP:
             continue
-        if counters is not None:
-            counters.visited_vertices += 1
+        pops += 1
         # d+(u) of Theorem 4.15: anchored + deeper-shell neighbors are
         # precomputed (they always count); x counts if adjacent and not
         # already part of the fixed support; same-shell neighbors count
@@ -202,6 +227,9 @@ def _explore_node(
             status[u] = _DISCARDED
             _shrink(same_shell, coreness, status, dplus, u)
 
+    _obs.add(_obs.VISITED_VERTICES, pops)
+    if counters is not None:
+        counters.visited_vertices += pops
     return {u for u, s in status.items() if s == _SURVIVED}
 
 

@@ -23,10 +23,10 @@ Tie-breaking between equally good anchors is a first-class parameter
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Literal
 
+from repro import obs as _obs
 from repro.anchors.bounds import UpperBounds, compute_upper_bounds, refined_total
 from repro.anchors.followers import (
     FollowerCounters,
@@ -44,6 +44,10 @@ from repro.verify import verification as _verification
 
 TieBreak = Literal["ub", "degree", "random", "id"]
 FollowerMethod = Literal["tree", "naive"]
+
+# Module attribute (not a direct call site) so tests can monkeypatch the
+# clock the deadline checks read.
+_clock = _obs.clock
 
 
 @dataclass
@@ -116,6 +120,7 @@ def greedy_anchored_coreness(
     initial_anchors: Iterable[Vertex] = (),
     time_limit: float | None = None,
     verify: bool | None = None,
+    obs: bool | None = None,
 ) -> GreedyResult:
     """Run the greedy heuristic for the anchored coreness problem.
 
@@ -140,6 +145,9 @@ def greedy_anchored_coreness(
             mid-scan records no partial winner.
         verify: force the runtime invariant checks on (``True``) or off
             (``False``) for this run; ``None`` defers to ``REPRO_VERIFY``.
+        obs: force span tracing on (``True``) or off (``False``) for
+            this run; ``None`` defers to ``REPRO_TRACE``. Tracing never
+            changes the result — only whether timings are recorded.
 
     Raises:
         BudgetError: if ``budget`` is negative or exceeds the number of
@@ -157,8 +165,8 @@ def greedy_anchored_coreness(
         reuse = False
         use_upper_bounds = False
     rng = random.Random(seed)
-    start = time.perf_counter()
-    with _verification(verify):
+    start = _clock()
+    with _verification(verify), _obs.tracing(obs), _obs.span("gac.run", budget=budget):
         return _run_greedy(
             graph,
             budget,
@@ -199,54 +207,62 @@ def _run_greedy(
     result = GreedyResult()
 
     for _ in range(budget):
-        if deadline is not None and time.perf_counter() > deadline:
+        if deadline is not None and _clock() > deadline:
             result.truncated = True
             break
-        iter_start = time.perf_counter()
-        counters = FollowerCounters()
-        best, best_gain, expired = _select_best(
-            state,
-            cache,
-            counters,
-            base_coreness=base_coreness,
-            use_upper_bounds=use_upper_bounds,
-            reuse=reuse,
-            follower_method=follower_method,
-            tie_break=tie_break,
-            rng=rng,
-            deadline=deadline,
-        )
-        if expired:
-            result.truncated = True
-            break
-        if best is None:
-            break
-        # Pruning soundness: the chosen candidate must be a true argmax
-        # over ALL candidates — the upper bound never hid a better one.
-        if _verify_enabled():
-            from repro.verify.invariants import verify_selection
-
-            verify_selection(state, base_coreness, best, best_gain)
-        result.anchors.append(best)
-        result.gains.append(best_gain)
-        result.followers[best] = _follower_set(state, best, follower_method)
-        result.traces.append(
-            IterationTrace(
-                anchor=best,
-                gain=best_gain,
-                elapsed_seconds=time.perf_counter() - iter_start,
-                counters=counters,
-                candidate_count=graph.num_vertices - len(state.anchors),
+        iter_start = _clock()
+        iter_window = _obs.window()
+        with _obs.span("gac.iteration", iteration=len(result.anchors)):
+            best, best_gain, expired = _select_best(
+                state,
+                cache,
+                base_coreness=base_coreness,
+                use_upper_bounds=use_upper_bounds,
+                reuse=reuse,
+                follower_method=follower_method,
+                tie_break=tie_break,
+                rng=rng,
+                deadline=deadline,
             )
-        )
-        # Anchor in place: the paper's local subtree rebuild (Algorithm 3
-        # lines 7-10) re-decomposes only the anchored vertex's component.
-        removals = apply_anchor(state, best, compute_removals=reuse)
-        if reuse:
-            cache.apply_removals(removals)
-            cache.forget(best)
-        else:
-            cache.clear()
+            if expired:
+                result.truncated = True
+                break
+            if best is None:
+                break
+            # Pruning soundness: the chosen candidate must be a true argmax
+            # over ALL candidates — the upper bound never hid a better one.
+            if _verify_enabled():
+                from repro.verify.invariants import verify_selection
+
+                verify_selection(state, base_coreness, best, best_gain)
+            # The iteration's work counters are the registry delta since
+            # the window opened (the registry is the single source; this
+            # façade keeps the Figure 13 per-iteration shape).
+            counters = FollowerCounters.from_window(iter_window)
+            result.anchors.append(best)
+            result.gains.append(best_gain)
+            # Materializing the chosen anchor's follower set is
+            # bookkeeping, not part of the measured candidate search.
+            with _obs.suspended():
+                result.followers[best] = _follower_set(state, best, follower_method)
+            result.traces.append(
+                IterationTrace(
+                    anchor=best,
+                    gain=best_gain,
+                    elapsed_seconds=_clock() - iter_start,
+                    counters=counters,
+                    candidate_count=graph.num_vertices - len(state.anchors),
+                )
+            )
+            _obs.add(_obs.GAC_ITERATIONS)
+            # Anchor in place: the paper's local subtree rebuild (Algorithm 3
+            # lines 7-10) re-decomposes only the anchored vertex's component.
+            removals = apply_anchor(state, best, compute_removals=reuse)
+            if reuse:
+                cache.apply_removals(removals)
+                cache.forget(best)
+            else:
+                cache.clear()
     if _verify_enabled():
         from repro.verify.invariants import verify_greedy_total
 
@@ -257,7 +273,6 @@ def _run_greedy(
 def _select_best(
     state: AnchoredState,
     cache: FollowerCache,
-    counters: FollowerCounters,
     *,
     base_coreness: dict[Vertex, int],
     use_upper_bounds: bool,
@@ -300,36 +315,37 @@ def _select_best(
     best: Vertex | None = None
     best_gain = -1
     best_tie = None
-    for u in order:
-        if deadline is not None and time.perf_counter() > deadline:
-            return None, 0, True
-        # Prune strictly below the best gain (the paper prunes <=; the
-        # strict form also evaluates potential ties so tie-breaking sees
-        # the same candidate pool as the unpruned variants).
-        if use_upper_bounds and refined[u] < best_gain:
-            counters.pruned_candidates += 1
-            continue
-        if follower_method == "naive":
-            follower_count = len(
-                followers_naive(
-                    state.graph, u, anchors=state.anchors, base=state.decomposition
+    with _obs.span("gac.candidate_scan", candidates=len(order)):
+        for u in order:
+            if deadline is not None and _clock() > deadline:
+                return None, 0, True
+            # Prune strictly below the best gain (the paper prunes <=; the
+            # strict form also evaluates potential ties so tie-breaking sees
+            # the same candidate pool as the unpruned variants).
+            if use_upper_bounds and refined[u] < best_gain:
+                _obs.add(_obs.PRUNED_CANDIDATES)
+                continue
+            if follower_method == "naive":
+                follower_count = len(
+                    followers_naive(
+                        state.graph, u, anchors=state.anchors, base=state.decomposition
+                    )
                 )
-            )
-            counters.evaluated_candidates += 1
-        else:
-            cached = cache.valid_counts(u, state) if reuse else None
-            report = find_followers(state, u, reusable_counts=cached, counters=counters)
-            if reuse:
-                cache.store(report, node_k)
-            follower_count = report.total
-        own_gain = state.decomposition.coreness[u] - base_coreness[u]
-        gain = follower_count - own_gain
-        if gain > best_gain:
-            best, best_gain, best_tie = u, gain, tie_of(u)
-        elif gain == best_gain and best is not None:
-            tie = tie_of(u)
-            if tie > best_tie:
-                best, best_tie = u, tie
+                _obs.add(_obs.EVALUATED_CANDIDATES)
+            else:
+                cached = cache.valid_counts(u, state) if reuse else None
+                report = find_followers(state, u, reusable_counts=cached)
+                if reuse:
+                    cache.store(report, node_k)
+                follower_count = report.total
+            own_gain = state.decomposition.coreness[u] - base_coreness[u]
+            gain = follower_count - own_gain
+            if gain > best_gain:
+                best, best_gain, best_tie = u, gain, tie_of(u)
+            elif gain == best_gain and best is not None:
+                tie = tie_of(u)
+                if tie > best_tie:
+                    best, best_tie = u, tie
     return best, best_gain, False
 
 

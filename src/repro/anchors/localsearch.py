@@ -14,13 +14,13 @@ vertices (by single-anchor upper bound) to keep trials focused.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.anchors.bounds import compute_upper_bounds
 from repro.anchors.state import AnchoredState
 from repro.core.decomposition import _sort_key, core_decomposition, coreness_gain
 from repro.graphs.graph import Graph, Vertex
+from repro.obs import clock as _clock
 
 
 @dataclass
@@ -64,7 +64,7 @@ def local_search_polish(
     Returns:
         A :class:`LocalSearchResult`; ``final_gain >= initial_gain``.
     """
-    start = time.perf_counter()
+    start = _clock()
     current = list(dict.fromkeys(anchors))  # dedupe, keep order
     base = core_decomposition(graph)
     result = LocalSearchResult(
@@ -103,5 +103,5 @@ def local_search_polish(
 
     result.anchors = current
     result.final_gain = current_gain
-    result.elapsed_seconds = time.perf_counter() - start
+    result.elapsed_seconds = _clock() - start
     return result

@@ -15,7 +15,6 @@ research iteration on the model, not just reproduction.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from itertools import combinations
 
@@ -25,6 +24,7 @@ from repro.anchors.state import AnchoredState
 from repro.core.decomposition import _sort_key, core_decomposition
 from repro.errors import BudgetError
 from repro.graphs.graph import Graph, Vertex
+from repro.obs import clock as _clock
 
 
 @dataclass
@@ -73,7 +73,7 @@ def lookahead_anchored_coreness(
     """
     if budget < 0 or budget > graph.num_vertices:
         raise BudgetError(f"budget {budget} invalid for n={graph.num_vertices}")
-    start = time.perf_counter()
+    start = _clock()
     result = LookaheadResult()
     base = core_decomposition(graph)
     base_coreness = base.coreness
@@ -124,5 +124,5 @@ def lookahead_anchored_coreness(
         result.selections.append(choice)
         result.gains.append(gain)
     result.anchors = anchors
-    result.elapsed_seconds = time.perf_counter() - start
+    result.elapsed_seconds = _clock() - start
     return result

@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections import defaultdict
 from collections.abc import Mapping
 
+from repro import obs as _obs
 from repro.anchors.followers import FollowerReport
 from repro.anchors.state import AnchoredState
 from repro.core.tree import NodeId
@@ -60,12 +61,15 @@ class FollowerCache:
         stored = self.entries.get(u)
         if not stored:
             return {}
-        sn_u = state.sn(u)
-        nodes = state.tree.nodes
-        valid: dict[NodeId, int] = {}
-        for nid, (k, count) in stored.items():
-            if nid in sn_u and nodes[nid].k == k:
-                valid[nid] = count
+        with _obs.span("reuse.validate", candidate=u):
+            sn_u = state.sn(u)
+            nodes = state.tree.nodes
+            valid: dict[NodeId, int] = {}
+            for nid, (k, count) in stored.items():
+                if nid in sn_u and nodes[nid].k == k:
+                    valid[nid] = count
+        if valid:
+            _obs.add(_obs.REUSE_SERVED, len(valid))
         # Algorithm-3 soundness: a served count must equal what a fresh
         # per-node exploration would find (no stale tree nodes).
         if valid and _verify_enabled():
@@ -86,6 +90,8 @@ class FollowerCache:
                     dropped += 1
             if not stored:
                 del self.entries[u]
+        if dropped:
+            _obs.add(_obs.REUSE_DROPPED, dropped)
         return dropped
 
     def forget(self, u: Vertex) -> None:
@@ -112,6 +118,13 @@ def result_reuse(
     """
     if x not in new_state.anchors or x in old_state.anchors:
         raise ValueError(f"{x!r} must be the newly anchored vertex")
+    with _obs.span("reuse.invalidate", anchor=x):
+        return _compute_removals(old_state, new_state, x)
+
+
+def _compute_removals(
+    old_state: AnchoredState, new_state: AnchoredState, x: Vertex
+) -> dict[Vertex, set[NodeId]]:
     removals: dict[Vertex, set[NodeId]] = defaultdict(set)
 
     # Lines 1-6: every vertex in a node adjacent to x is suspect; its own

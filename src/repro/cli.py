@@ -9,7 +9,10 @@ Commands:
 * ``datasets``   — list the built-in replica datasets.
 
 Graphs come from either ``--dataset <name>`` (a built-in replica) or
-``--edges <path>`` (a SNAP-style edge list).
+``--edges <path>`` (a SNAP-style edge list). ``decompose`` and
+``anchor`` accept ``--profile`` to run traced and print the
+:mod:`repro.obs` phase profile and work counters afterwards
+(``--trace-out PATH`` additionally writes the Chrome trace artifact).
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.analysis.stats import graph_stats
 from repro.anchors.gac import gac
 from repro.anchors.heuristics import HEURISTICS
@@ -41,6 +45,29 @@ def _add_graph_source(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--edges", help="path to a SNAP-style edge list")
 
 
+def _add_profile_knobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="trace the run and print the phase profile + work counters",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="with --profile, also write a Chrome trace-event JSON artifact",
+    )
+
+
+def _print_profile(args: argparse.Namespace, window: obs.Window) -> None:
+    print()
+    print(obs.profile_table(obs.phase_profile(window.events())).format())
+    print()
+    print(obs.counters_table(window.counters()).format())
+    if args.trace_out:
+        path = obs.write_chrome_trace(args.trace_out, window.events(), window.counters())
+        print(f"\nwrote Chrome trace-event JSON to {path}")
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     stats = graph_stats(_load_graph(args))
     print(f"nodes   {stats.nodes}")
@@ -53,35 +80,45 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_decompose(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
+    window = obs.window()
+    with obs.tracing(True if args.profile else None):
+        if args.layers:
+            decomposition = peel_decomposition(graph)
+        else:
+            decomposition = core_decomposition(graph)
     if args.layers:
-        decomposition = peel_decomposition(graph)
         for u in sorted(graph.vertices(), key=repr):
             k, i = decomposition.shell_layer[u]
             print(f"{u}\t{decomposition.coreness[u]}\t{k},{i}")
     else:
-        decomposition = core_decomposition(graph)
         for u in sorted(graph.vertices(), key=repr):
             print(f"{u}\t{decomposition.coreness[u]}")
+    if args.profile:
+        _print_profile(args, window)
     return 0
 
 
 def _cmd_anchor(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    if args.method == "gac":
-        result = gac(graph, args.budget)
-        anchors, gain = result.anchors, result.total_gain
-    elif args.method == "olak":
-        if args.k is None:
-            raise SystemExit("error: --k is required for olak")
-        olak_result = olak(graph, args.k, args.budget)
-        anchors, gain = olak_result.anchors, olak_result.coreness_gain
-    else:
-        fn = HEURISTICS[args.method]
-        kwargs = {"seed": args.seed} if args.method == "Rand" else {}
-        anchors = fn(graph, args.budget, **kwargs)
-        gain = coreness_gain(graph, anchors)
+    window = obs.window()
+    with obs.tracing(True if args.profile else None):
+        if args.method == "gac":
+            result = gac(graph, args.budget)
+            anchors, gain = result.anchors, result.total_gain
+        elif args.method == "olak":
+            if args.k is None:
+                raise SystemExit("error: --k is required for olak")
+            olak_result = olak(graph, args.k, args.budget)
+            anchors, gain = olak_result.anchors, olak_result.coreness_gain
+        else:
+            fn = HEURISTICS[args.method]
+            kwargs = {"seed": args.seed} if args.method == "Rand" else {}
+            anchors = fn(graph, args.budget, **kwargs)
+            gain = coreness_gain(graph, anchors)
     print(f"anchors       {' '.join(str(a) for a in anchors)}")
     print(f"coreness_gain {gain}")
+    if args.profile:
+        _print_profile(args, window)
     return 0
 
 
@@ -118,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_dec = sub.add_parser("decompose", help="print per-vertex coreness")
     _add_graph_source(p_dec)
     p_dec.add_argument("--layers", action="store_true", help="include shell-layer pairs")
+    _add_profile_knobs(p_dec)
     p_dec.set_defaults(func=_cmd_decompose)
 
     p_anchor = sub.add_parser("anchor", help="choose an anchor set")
@@ -131,6 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_anchor.add_argument("-b", "--budget", type=int, default=10)
     p_anchor.add_argument("--k", type=int, help="core parameter (olak only)")
     p_anchor.add_argument("--seed", type=int, default=0, help="RNG seed (Rand only)")
+    _add_profile_knobs(p_anchor)
     p_anchor.set_defaults(func=_cmd_anchor)
 
     p_cascade = sub.add_parser("cascade", help="simulate a departure cascade")

@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections.abc import Collection, Iterable
 from dataclasses import dataclass, field
 
+from repro import obs as _obs
 from repro.errors import AnchorNotFoundError
 from repro.graphs.csr import bucket_coreness, csr_view, peel_layers
 from repro.graphs.graph import Graph, Vertex, vertex_sort_key
@@ -131,12 +132,17 @@ def core_decomposition(
     if graph.num_vertices == 0:
         return CoreDecomposition(coreness={}, anchors=anchor_set)
 
-    csr = csr_view(graph)
-    if csr is None:
-        coreness = _bucket_coreness_dict(graph, anchor_set)
-    else:
-        anchor_ids = sorted(csr.index[a] for a in anchor_set)
-        coreness = dict(zip(csr.labels, bucket_coreness(csr, anchor_ids)))
+    with _obs.span("decomposition.bucket", n=graph.num_vertices) as sp:
+        csr = csr_view(graph)
+        if isinstance(sp, _obs.Span):
+            sp.args["path"] = "dict" if csr is None else "csr"
+        if csr is None:
+            coreness = _bucket_coreness_dict(graph, anchor_set)
+        else:
+            anchor_ids = sorted(csr.index[a] for a in anchor_set)
+            coreness = dict(zip(csr.labels, bucket_coreness(csr, anchor_ids)))
+    # Both kernels process each non-anchor vertex exactly once.
+    _obs.add(_obs.BUCKET_POPS, graph.num_vertices - len(anchor_set))
 
     _effective_anchor_coreness(graph, anchor_set, coreness)
     result = CoreDecomposition(coreness=coreness, anchors=anchor_set)
@@ -233,21 +239,26 @@ def peel_decomposition(
     anchor_set = frozenset(anchors)
     _require_anchors_present(graph, anchor_set)
 
-    csr = csr_view(graph)
-    if csr is None:
-        coreness, shell_layer, order = _peel_dict(graph, anchor_set)
-    else:
-        anchor_ids = sorted(csr.index[a] for a in anchor_set)
-        core, layer_of, id_order = peel_layers(csr, anchor_ids)
-        labels = csr.labels
-        coreness = {}
-        shell_layer = {}
-        order = []
-        for i in id_order:
-            u = labels[i]
-            coreness[u] = core[i]
-            shell_layer[u] = (core[i], layer_of[i])
-            order.append(u)
+    with _obs.span("decomposition.peel", n=graph.num_vertices) as sp:
+        csr = csr_view(graph)
+        if isinstance(sp, _obs.Span):
+            sp.args["path"] = "dict" if csr is None else "csr"
+        if csr is None:
+            coreness, shell_layer, order = _peel_dict(graph, anchor_set)
+        else:
+            anchor_ids = sorted(csr.index[a] for a in anchor_set)
+            core, layer_of, id_order = peel_layers(csr, anchor_ids)
+            labels = csr.labels
+            coreness = {}
+            shell_layer = {}
+            order = []
+            for i in id_order:
+                u = labels[i]
+                coreness[u] = core[i]
+                shell_layer[u] = (core[i], layer_of[i])
+                order.append(u)
+    # Both kernels delete each non-anchor vertex exactly once.
+    _obs.add(_obs.PEEL_POPS, graph.num_vertices - len(anchor_set))
 
     _effective_anchor_coreness(graph, anchor_set, coreness)
     for a in sorted(anchor_set, key=_sort_key):

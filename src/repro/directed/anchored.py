@@ -9,12 +9,12 @@ feed a cascade into it).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.directed.dcore import d_core_members
 from repro.directed.digraph import DiGraph, Vertex
 from repro.errors import BudgetError
+from repro.obs import clock as _clock
 
 
 @dataclass
@@ -53,7 +53,7 @@ def greedy_anchored_d_core(
     """
     if budget < 0 or budget > graph.num_vertices:
         raise BudgetError(f"budget {budget} invalid for n={graph.num_vertices}")
-    start = time.perf_counter()
+    start = _clock()
     base = d_core_members(graph, k, l)
     result = AnchoredDCoreResult(k=k, l=l, initial_core_size=len(base))
     anchors: set[Vertex] = set()
@@ -76,7 +76,7 @@ def greedy_anchored_d_core(
         result.anchors.append(best)
         result.gains.append(best_gain)
     result.final_core_size = len(current | anchors) if anchors else len(current)
-    result.elapsed_seconds = time.perf_counter() - start
+    result.elapsed_seconds = _clock() - start
     return result
 
 

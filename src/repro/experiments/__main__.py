@@ -4,9 +4,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from repro.experiments import RUNNERS
+from repro.obs import clock as _clock
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -22,9 +22,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     chosen = list(RUNNERS) if args.experiment == "all" else [args.experiment]
     for name in chosen:
-        start = time.perf_counter()
+        start = _clock()
         result = RUNNERS[name]()
-        elapsed = time.perf_counter() - start
+        elapsed = _clock() - start
         print(result.format())
         print(f"\n[{name} finished in {elapsed:.1f}s]\n")
     return 0

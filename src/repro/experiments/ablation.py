@@ -9,14 +9,13 @@ Not a paper artifact — quantifies the mechanisms behind Figures 12/13:
 
 from __future__ import annotations
 
-import time
-
 from repro.anchors.bounds import compute_upper_bounds
 from repro.anchors.followers import find_followers, followers_naive
 from repro.anchors.gac import gac_u
 from repro.anchors.state import AnchoredState
 from repro.datasets import registry
 from repro.experiments.reporting import ExperimentResult, Table
+from repro.obs import clock as _clock
 from repro.verify import suspended
 
 
@@ -51,14 +50,14 @@ def run(
     # both paths asymmetrically and would distort the measured ratio.
     sample = sorted(graph.vertices())[:follower_sample]
     with suspended():
-        t0 = time.perf_counter()
+        t0 = _clock()
         for u in sample:
             find_followers(state, u)
-        local_time = time.perf_counter() - t0
-        t0 = time.perf_counter()
+        local_time = _clock() - t0
+        t0 = _clock()
         for u in sample:
             followers_naive(graph, u, base=state.decomposition)
-        naive_time = time.perf_counter() - t0
+        naive_time = _clock() - t0
     speedup = naive_time / local_time if local_time else float("inf")
 
     table = Table(

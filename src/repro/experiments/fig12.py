@@ -4,17 +4,40 @@
 core decomposition per candidate) is only feasible on the smallest
 dataset, exactly as in the paper. Expected shape: Baseline >> GAC-U-R >
 GAC-U > GAC.
+
+Runtimes are read from the :mod:`repro.obs` span collector (each run is
+traced, and the per-variant time is its ``gac.run`` span) instead of
+being re-measured with ad-hoc timers; the per-phase breakdown of every
+run rides along in ``data["phases"]``.
 """
 
 from __future__ import annotations
 
-import time
-
+from repro import obs
 from repro.anchors.gac import baseline, gac, gac_u, gac_u_r
 from repro.datasets import registry
 from repro.experiments.reporting import ExperimentResult, Table
 
 VARIANTS = {"GAC": gac, "GAC-U": gac_u, "GAC-U-R": gac_u_r}
+
+
+def _traced_run(fn, graph, budget: int) -> tuple[object, float, list[dict]]:
+    """Run one variant traced; its runtime and phase profile from the spans."""
+    window = obs.window()
+    with obs.tracing(True):
+        result = fn(graph, budget, verify=False)
+    events = window.events()
+    elapsed = sum(e.duration for e in events if e.name == "gac.run")
+    phases = [
+        {
+            "phase": stat.name,
+            "calls": stat.calls,
+            "total_s": round(stat.total_s, 6),
+            "self_s": round(stat.self_s, 6),
+        }
+        for stat in obs.phase_profile(events)
+    ]
+    return result, elapsed, phases
 
 
 def run(
@@ -30,22 +53,24 @@ def run(
         title=f"Figure 12(a): runtime in seconds (b={budget})",
         headers=["Dataset", *VARIANTS.keys()],
     )
-    data: dict = {"runtimes": {}, "results": {}}
+    data: dict = {"runtimes": {}, "results": {}, "phases": {}}
     for name in names:
         graph = registry.load(name)
         times: dict[str, float] = {}
         results = {}
+        phases: dict[str, list[dict]] = {}
         for label, fn in VARIANTS.items():
-            t0 = time.perf_counter()
             # verify=False: this is a wall-clock experiment, and the
             # runtime oracle re-evaluates every candidate per iteration —
             # with it active the timings measure the oracle, not the
             # variants' ratios.
-            results[label] = fn(graph, budget, verify=False)
-            times[label] = time.perf_counter() - t0
+            results[label], times[label], phases[label] = _traced_run(
+                fn, graph, budget
+            )
         table.rows.append([registry.spec(name).display, *times.values()])
         data["runtimes"][name] = times
         data["results"][name] = results
+        data["phases"][name] = phases
 
     tables = [table]
     if include_baseline:
@@ -53,9 +78,7 @@ def run(
         rows = []
         per_iter: dict[str, float] = {}
         for label, fn in {"Baseline": baseline, "GAC-U-R": gac_u_r}.items():
-            t0 = time.perf_counter()
-            fn(graph, baseline_budget, verify=False)
-            elapsed = time.perf_counter() - t0
+            _, elapsed, _ = _traced_run(fn, graph, baseline_budget)
             per_iter[label] = elapsed / baseline_budget
             rows.append([label, elapsed, per_iter[label]])
         tables.append(

@@ -2,10 +2,16 @@
 
 Expected shape: reuse (GAC-U) explores a fraction of GAC-U-R's tree
 nodes; upper-bound pruning (GAC) cuts both counters further.
+
+The numbers are read straight from the :mod:`repro.obs` counter
+registry (a :class:`~repro.obs.Window` delta per run) — the same
+registry the per-iteration ``FollowerCounters`` façades source from, so
+this figure and ``GreedyResult.total_counters()`` always agree.
 """
 
 from __future__ import annotations
 
+from repro import obs
 from repro.anchors.gac import gac, gac_u, gac_u_r
 from repro.datasets import registry
 from repro.experiments.reporting import ExperimentResult, Table
@@ -31,10 +37,11 @@ def run(datasets: list[str] | None = None, budget: int = 10) -> ExperimentResult
         vertices: dict[str, int] = {}
         pruned: dict[str, int] = {}
         for label, fn in VARIANTS.items():
-            counters = fn(graph, budget).total_counters()
-            nodes[label] = counters.explored_nodes
-            vertices[label] = counters.visited_vertices
-            pruned[label] = counters.pruned_candidates
+            window = obs.window()
+            fn(graph, budget)
+            nodes[label] = window.counter(obs.EXPLORED_NODES)
+            vertices[label] = window.counter(obs.VISITED_VERTICES)
+            pruned[label] = window.counter(obs.PRUNED_CANDIDATES)
         nodes_table.rows.append([registry.spec(name).display, *nodes.values()])
         vertices_table.rows.append([registry.spec(name).display, *vertices.values()])
         data["nodes"][name] = nodes

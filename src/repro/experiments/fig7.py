@@ -10,13 +10,12 @@ shape — high gain ratio, exploding Exact runtime — is unchanged).
 
 from __future__ import annotations
 
-import time
-
 from repro.anchors.exact import exact_anchored_coreness
 from repro.anchors.gac import gac
 from repro.datasets import registry
 from repro.datasets.extract import snowball_samples
 from repro.experiments.reporting import ExperimentResult, Table
+from repro.obs import clock as _clock
 
 
 def run(
@@ -44,13 +43,13 @@ def run(
             gac_gain = exact_gain = 0
             gac_time = exact_time = 0.0
             for sub in subgraphs:
-                t0 = time.perf_counter()
+                t0 = _clock()
                 greedy = gac(sub, min(b, sub.num_vertices))
-                gac_time += time.perf_counter() - t0
+                gac_time += _clock() - t0
                 gac_gain += greedy.total_gain
-                t0 = time.perf_counter()
+                t0 = _clock()
                 exact = exact_anchored_coreness(sub, min(b, sub.num_vertices))
-                exact_time += time.perf_counter() - t0
+                exact_time += _clock() - t0
                 exact_gain += exact.gain
             ratio = gac_gain / exact_gain if exact_gain else 1.0
             per_budget[b] = {

@@ -129,7 +129,8 @@ class PerfBaseline:
     primitive holding the dict-path and CSR-path wall-clock (best of
     ``best_of`` repeats) and the resulting speedup, plus the replica's
     sizes so timings can be normalized. ``schema`` is bumped whenever
-    the JSON layout changes so downstream consumers can detect drift.
+    the JSON layout changes so downstream consumers can detect drift
+    (2: added the ``phases`` per-phase breakdown from ``repro.obs``).
     """
 
     name: str
@@ -138,9 +139,10 @@ class PerfBaseline:
     num_edges: int
     mode: str = "full"
     best_of: int = 1
-    schema: int = 1
+    schema: int = 2
     csr_build_s: float | None = None
     primitives: list[dict[str, object]] = field(default_factory=list)
+    phases: list[dict[str, object]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
 
     def record(self, primitive: str, dict_s: float, csr_s: float) -> dict[str, object]:
@@ -189,6 +191,7 @@ class PerfBaseline:
             "best_of": self.best_of,
             "csr_build_s": self.csr_build_s,
             "primitives": self.primitives,
+            "phases": self.phases,
             "notes": list(self.notes),
         }
         return json.dumps(payload, indent=1)

@@ -35,6 +35,7 @@ from array import array
 from collections.abc import Iterable
 from typing import cast
 
+from repro import obs as _obs
 from repro.graphs.graph import Graph, Vertex, vertex_sort_key
 
 
@@ -157,11 +158,14 @@ def csr_view(graph: Graph) -> CSRGraph | None:
     version = graph._version
     cached = graph._csr_cache
     if cached is not None and cached[0] == version:
+        _obs.add(_obs.CSR_CACHE_HITS)
         return cast("CSRGraph | None", cached[1])
-    try:
-        view: CSRGraph | None = CSRGraph.from_graph(graph)
-    except TypeError:
-        view = None
+    with _obs.span("csr.build", n=graph.num_vertices, m=graph.num_edges):
+        try:
+            view: CSRGraph | None = CSRGraph.from_graph(graph)
+        except TypeError:
+            view = None
+    _obs.add(_obs.CSR_BUILDS)
     graph._csr_cache = (version, view)
     return view
 

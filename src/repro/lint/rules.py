@@ -26,6 +26,11 @@ Rule id   Waiver slug        What it forbids
                              registered pure with ``@pure``
 ``R6``    ``clock-ok``       ``time.time()`` / ``datetime.now()`` in algorithm
                              paths (timing belongs in ``benchmarks/``)
+``R7``    ``timer-ok``       ``time.perf_counter()`` (and ``perf_counter_ns``
+                             / ``monotonic``) anywhere outside ``repro.obs``,
+                             tests, and ``benchmarks/`` — measured sections
+                             must read ``repro.obs.clock`` so every timing
+                             flows through the one observability substrate
 ========  =================  ==================================================
 
 A violation is waived by a ``# lint: <slug> <reason>`` comment on the
@@ -90,6 +95,7 @@ class LintContext:
     is_test: bool = False
     is_benchmark: bool = False
     is_experiment: bool = False
+    is_obs: bool = False
     order_sensitive: bool = False
     _parents: dict[ast.AST, ast.AST] = field(default_factory=dict, repr=False)
 
@@ -602,7 +608,7 @@ class WallClockRule:
     slug: ClassVar[str] = "clock-ok"
     summary: ClassVar[str] = (
         "no time.time()/datetime.now() in algorithm paths; timing belongs "
-        "in benchmarks/ (time.perf_counter for measured sections is fine)"
+        "in benchmarks/ (measured sections read repro.obs.clock — see R7)"
     )
 
     def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
@@ -634,8 +640,7 @@ class WallClockRule:
                     node,
                     self,
                     "time.time() in an algorithm path; timing belongs in "
-                    "benchmarks/ (use time.perf_counter in measured "
-                    "harnesses)",
+                    "benchmarks/ (measured sections read repro.obs.clock)",
                 )
             if owner.id in {"datetime", "date"} and func.attr in {
                 "now",
@@ -662,3 +667,61 @@ class WallClockRule:
                 "an algorithm path; inject timestamps from the caller",
             )
         return None
+
+
+# ----------------------------------------------------------------------
+# R7 — perf-counter reads outside the observability substrate
+# ----------------------------------------------------------------------
+
+_PERF_TIMER_NAMES = frozenset({"perf_counter", "perf_counter_ns", "monotonic"})
+
+
+@register
+class TimerSubstrateRule:
+    """R7: ``time.perf_counter`` lives in ``repro.obs`` and benchmarks only."""
+
+    rule_id: ClassVar[str] = "R7"
+    slug: ClassVar[str] = "timer-ok"
+    summary: ClassVar[str] = (
+        "no time.perf_counter()/perf_counter_ns()/monotonic() outside "
+        "repro.obs, tests, and benchmarks/; measured sections read "
+        "repro.obs.clock (or use obs spans) so every timing flows through "
+        "the one observability substrate"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        if ctx.is_test or ctx.is_benchmark or ctx.is_obs:
+            return
+        for node in ast.walk(ctx.tree):
+            diag: Diagnostic | None = None
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "time"
+                    and func.attr in _PERF_TIMER_NAMES
+                ):
+                    diag = ctx.diagnostic(
+                        node,
+                        self,
+                        f"time.{func.attr}() outside the observability "
+                        "substrate; read repro.obs.clock (or wrap the "
+                        "section in an obs span) instead",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                bad = sorted(
+                    alias.name
+                    for alias in node.names
+                    if alias.name in _PERF_TIMER_NAMES
+                )
+                if bad:
+                    diag = ctx.diagnostic(
+                        node,
+                        self,
+                        f"importing {', '.join(bad)} from time outside the "
+                        "observability substrate; import repro.obs.clock "
+                        "instead",
+                    )
+            if diag is not None:
+                yield diag

@@ -1,0 +1,119 @@
+"""Command-line entry point: ``python -m repro.obs <command>``.
+
+Commands:
+
+* ``report``   — run an instrumented GAC pass over a dataset, print the
+  phase-profile and counter tables, and write a Chrome trace-event JSON
+  artifact (tracing is forced on for the run);
+* ``validate`` — check a trace artifact; exit 1 if it is empty or
+  malformed (the CI gate for uploaded traces).
+
+Exit status: 0 on success, 1 on validation findings, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import obs
+
+DEFAULT_TRACE_OUT = Path("obs_trace.json")
+
+_VARIANTS = ("gac", "gac-u", "gac-u-r")
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    # Imported here: the algorithm stack is heavy and `validate` must
+    # stay usable in minimal environments (CI artifact checks).
+    from repro.anchors.gac import gac, gac_u, gac_u_r
+    from repro.datasets import registry
+    from repro.graphs.io import read_edge_list
+
+    if args.edges:
+        graph = read_edge_list(args.edges)
+        source = args.edges
+    else:
+        graph = registry.load(args.dataset)
+        source = args.dataset
+    variant = {"gac": gac, "gac-u": gac_u, "gac-u-r": gac_u_r}[args.variant]
+
+    run_window = obs.window()
+    with obs.tracing(True):
+        result = variant(graph, args.budget)
+
+    print(
+        f"{args.variant} on {source}: b={args.budget} "
+        f"anchors={' '.join(str(a) for a in result.anchors)} "
+        f"gain={result.total_gain}"
+    )
+    print()
+    stats = obs.phase_profile(run_window.events())
+    print(
+        obs.profile_table(
+            stats, title=f"phase profile — {args.variant} on {source} (b={args.budget})"
+        ).format()
+    )
+    print()
+    print(obs.counters_table(run_window.counters(), title="work counters").format())
+
+    out = Path(args.out)
+    obs.write_chrome_trace(out, run_window.events(), run_window.counters())
+    problems = obs.validate_chrome_trace(out)
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 1
+    print(f"\nwrote Chrome trace-event JSON to {out}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    problems = obs.validate_chrome_trace(args.path)
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 1
+    print(f"{args.path}: valid Chrome trace-event JSON")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Tracing and metrics tooling for the anchored-coreness repo.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser(
+        "report", help="run an instrumented GAC pass and emit profile + trace"
+    )
+    p_report.add_argument("--dataset", default="brightkite", help="replica dataset")
+    p_report.add_argument("--edges", help="path to a SNAP-style edge list instead")
+    p_report.add_argument("-b", "--budget", type=int, default=3)
+    p_report.add_argument(
+        "--variant", default="gac", choices=_VARIANTS, help="greedy variant to run"
+    )
+    p_report.add_argument(
+        "--out",
+        default=str(DEFAULT_TRACE_OUT),
+        help=f"trace artifact path (default: {DEFAULT_TRACE_OUT})",
+    )
+    p_report.set_defaults(func=_cmd_report)
+
+    p_validate = sub.add_parser(
+        "validate", help="fail (exit 1) if a trace artifact is empty or malformed"
+    )
+    p_validate.add_argument("path", help="trace JSON file to check")
+    p_validate.set_defaults(func=_cmd_validate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,10 +17,10 @@ anchored-coreness objective.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
-from repro.anchors.followers import FollowerCounters, find_followers
+from repro import obs as _obs
+from repro.anchors.followers import find_followers
 from repro.anchors.incremental import apply_anchor
 from repro.anchors.state import AnchoredState
 from repro.core.decomposition import _sort_key, core_decomposition
@@ -64,6 +64,7 @@ def olak(
     seed: int | None = None,
     *,
     verify: bool | None = None,
+    obs: bool | None = None,
 ) -> OlakResult:
     """Greedy anchored k-core: ``budget`` anchors maximizing k-core size.
 
@@ -74,6 +75,8 @@ def olak(
         seed: unused, accepted for interface symmetry with the heuristics.
         verify: force the runtime invariant checks on (``True``) or off
             (``False``) for this run; ``None`` defers to ``REPRO_VERIFY``.
+        obs: force span tracing on (``True``) or off (``False``) for
+            this run; ``None`` defers to ``REPRO_TRACE``.
 
     Raises:
         BudgetError: when the budget is invalid for the graph.
@@ -83,31 +86,37 @@ def olak(
         raise BudgetError(f"budget {budget} is invalid for n={graph.num_vertices}")
     if k < 1:
         raise ValueError(f"k must be positive, got {k}")
-    with _verification(verify):
+    with (
+        _verification(verify),
+        _obs.tracing(obs),
+        _obs.span("olak.run", k=k, budget=budget),
+    ):
         return _run_olak(graph, k, budget)
 
 
 def _run_olak(graph: Graph, k: int, budget: int) -> OlakResult:
     """The OLAK greedy loop proper (runs inside the verification context)."""
-    start = time.perf_counter()
+    start = _obs.clock()
     result = OlakResult(k=k)
     state = AnchoredState.build(graph)
     base_coreness = dict(state.decomposition.coreness)
 
     for _ in range(budget):
-        best, best_followers = _select_best(state, k)
-        if best is None:
-            break
-        # The reported followers must be exactly the (k-1)-coreness
-        # vertices whose coreness rises when ``best`` is anchored.
-        if _verify_enabled():
-            from repro.verify.invariants import verify_olak_selection
+        with _obs.span("olak.iteration", iteration=len(result.anchors)):
+            best, best_followers = _select_best(state, k)
+            if best is None:
+                break
+            # The reported followers must be exactly the (k-1)-coreness
+            # vertices whose coreness rises when ``best`` is anchored.
+            if _verify_enabled():
+                from repro.verify.invariants import verify_olak_selection
 
-            verify_olak_selection(state, k, best, frozenset(best_followers))
-        result.anchors.append(best)
-        result.followers[best] = frozenset(best_followers)
-        result.kcore_growth += len(best_followers)
-        apply_anchor(state, best, compute_removals=False)
+                verify_olak_selection(state, k, best, frozenset(best_followers))
+            result.anchors.append(best)
+            result.followers[best] = frozenset(best_followers)
+            result.kcore_growth += len(best_followers)
+            _obs.add(_obs.OLAK_ITERATIONS)
+            apply_anchor(state, best, compute_removals=False)
 
     anchor_set = set(result.anchors)
     final = core_decomposition(graph, anchor_set)
@@ -116,7 +125,7 @@ def _run_olak(graph: Graph, k: int, budget: int) -> OlakResult:
         for u in graph.vertices()
         if u not in anchor_set
     )
-    result.elapsed_seconds = time.perf_counter() - start
+    result.elapsed_seconds = _obs.clock() - start
     return result
 
 
@@ -151,13 +160,13 @@ def _select_best(
     ]
     best: Vertex | None = None
     best_followers: frozenset[Vertex] = frozenset()
-    counters = FollowerCounters()
-    for u in sorted(candidates, key=_sort_key):
-        report = find_followers(state, u, counters=counters, only_coreness=k - 1)
-        followers = report.all_members()
-        if best is None or len(followers) > len(best_followers):
-            best = u
-            best_followers = frozenset(followers)
+    with _obs.span("olak.candidate_scan", candidates=len(candidates)):
+        for u in sorted(candidates, key=_sort_key):
+            report = find_followers(state, u, only_coreness=k - 1)
+            followers = report.all_members()
+            if best is None or len(followers) > len(best_followers):
+                best = u
+                best_followers = frozenset(followers)
     return best, best_followers
 
 

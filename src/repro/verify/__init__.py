@@ -92,11 +92,19 @@ def verification(force: bool | None = None) -> Iterator[None]:
 
 @contextmanager
 def suspended() -> Iterator[None]:
-    """Disable checks while a check's own reference machinery runs."""
+    """Disable checks while a check's own reference machinery runs.
+
+    Observability is muted alongside: the reference implementations call
+    the very instrumented functions whose counters and spans they
+    cross-check, and their work must not pollute the measured numbers.
+    """
+    from repro.obs import runtime as _obs_runtime
+
     global _suspended
     _suspended += 1
     try:
-        yield
+        with _obs_runtime.suspended():
+            yield
     finally:
         _suspended -= 1
 

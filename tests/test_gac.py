@@ -104,12 +104,10 @@ class TestGreedyBehaviour:
         gac_module = sys.modules["repro.anchors.gac"]
         ticks = iter(range(10_000))
 
-        class FakeTime:
-            @staticmethod
-            def perf_counter():
-                return float(next(ticks))
+        def fake_clock() -> float:
+            return float(next(ticks))
 
-        monkeypatch.setattr(gac_module, "time", FakeTime)
+        monkeypatch.setattr(gac_module, "_clock", fake_clock)
         g = small_random_graph(0, n=60, m=150)
         res = greedy_anchored_coreness(g, 50, time_limit=5.0)
         assert res.truncated

@@ -1,4 +1,4 @@
-"""Fixture suite for the repro.lint determinism linter (rules R1-R6).
+"""Fixture suite for the repro.lint determinism linter (rules R1-R7).
 
 Every rule gets a violating snippet (must fire) and a corrected version
 (must stay silent); waiver comments, JSON output, the baseline
@@ -115,11 +115,27 @@ def stamp():
     return time.time()
 """,
         """
-import time
+from repro.obs import clock
 
 
 def stamp():
+    return clock()
+""",
+    ),
+    "R7": (
+        """
+import time
+
+
+def measure():
     return time.perf_counter()
+""",
+        """
+from repro.obs import clock
+
+
+def measure():
+    return clock()
 """,
     ),
 }
@@ -195,6 +211,12 @@ class TestRoles:
             violating, _ = FIXTURES[rule_id]
             assert lint_source(violating, is_test=True) == []
 
+    def test_r7_exempt_in_obs_benchmarks_and_tests(self):
+        violating, _ = FIXTURES["R7"]
+        assert lint_source(violating, is_test=True) == []
+        assert lint_source(violating, is_benchmark=True) == []
+        assert lint_source(violating, is_obs=True) == []
+
     def test_classify_from_path(self):
         roles = classify(Path("src/repro/anchors/gac.py"))
         assert roles["order_sensitive"] and not roles["is_test"]
@@ -202,6 +224,8 @@ class TestRoles:
         assert roles["is_test"] and not roles["order_sensitive"]
         roles = classify(Path("benchmarks/bench_decomposition.py"))
         assert roles["is_benchmark"]
+        roles = classify(Path("src/repro/obs/runtime.py"))
+        assert roles["is_obs"] and not roles["is_test"]
 
 
 def test_json_output_round_trip():
@@ -289,6 +313,10 @@ def stamp():
     return time.time()
 
 
+def measure():
+    return time.perf_counter()
+
+
 @pure
 def widen(graph):
     graph.add_edge(0, 1)
@@ -315,7 +343,7 @@ class TestCli:
         assert result.returncode == 1, result.stdout + result.stderr
         document = json.loads(result.stdout)
         fired = {row["rule"] for row in document["diagnostics"]}
-        assert fired == {"R1", "R2", "R3", "R4", "R5", "R6"}
+        assert fired == {"R1", "R2", "R3", "R4", "R5", "R6", "R7"}
 
     def test_clean_tree_exits_zero(self, tmp_path):
         target = tmp_path / "anchors"

@@ -1,0 +1,233 @@
+"""Tests for the repro.obs observability substrate.
+
+Covers the span runtime (no-op fast path, nesting, self-time), the
+counter registry and Window deltas, suspension, the exporters (phase
+profile, tables, Chrome trace write/validate), and the two contracts
+the instrumented algorithms must keep: tracing on vs off changes no
+algorithm output, and Figure 13's registry reads agree with the
+``FollowerCounters`` façades.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.anchors.followers import FollowerCounters
+from repro.anchors.gac import gac, gac_u, gac_u_r
+from repro.core.decomposition import core_decomposition
+from repro.datasets import registry
+from repro.datasets.toy import figure2_graph
+from repro.experiments import fig13
+from repro.obs import runtime
+
+from conftest import small_random_graph
+
+
+@pytest.fixture(autouse=True)
+def untraced(monkeypatch):
+    """Each test starts untraced with a clean forced-tracing state."""
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    assert not obs.tracing_enabled()
+    yield
+
+
+class TestSpanRuntime:
+    def test_disabled_span_is_the_shared_noop(self):
+        assert obs.span("a") is obs.span("b", n=3)
+        assert obs.span("a") is runtime._NULL_SPAN
+        assert obs.span("a").elapsed_seconds == 0.0  # lint: float-eq-ok exact class attribute
+
+    def test_disabled_span_records_no_events(self):
+        window = obs.window()
+        with obs.span("quiet"):
+            pass
+        assert window.events() == []
+
+    def test_enabled_span_records_event(self):
+        window = obs.window()
+        with obs.tracing(True):
+            with obs.span("outer", k=2) as sp:
+                assert isinstance(sp, obs.Span)
+        (event,) = window.events()
+        assert event.name == "outer"
+        assert event.args == {"k": 2}
+        assert event.depth == 0
+        assert event.duration >= 0.0
+
+    def test_nesting_depth_and_self_time(self):
+        window = obs.window()
+        with obs.tracing(True):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+        inner, outer = window.events()  # children close first
+        assert (inner.name, inner.depth) == ("inner", 1)
+        assert (outer.name, outer.depth) == ("outer", 0)
+        assert outer.duration >= inner.duration
+        assert outer.self_time == pytest.approx(
+            outer.duration - inner.duration, abs=1e-9
+        )
+
+    def test_tracing_context_restores_previous_state(self):
+        with obs.tracing(True):
+            assert obs.tracing_enabled()
+            with obs.tracing(False):
+                assert not obs.tracing_enabled()
+            assert obs.tracing_enabled()
+        assert not obs.tracing_enabled()
+
+    def test_tracing_none_is_passthrough(self):
+        with obs.tracing(None):
+            assert not obs.tracing_enabled()
+
+    def test_env_var_enables_tracing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert obs.tracing_enabled()
+
+
+class TestCounterRegistry:
+    def test_window_sees_only_its_delta(self):
+        obs.add(obs.GAC_ITERATIONS, 5)
+        window = obs.window()
+        obs.add(obs.GAC_ITERATIONS, 2)
+        assert window.counter(obs.GAC_ITERATIONS) == 2
+        assert window.counters() == {obs.GAC_ITERATIONS: 2}
+
+    def test_zero_deltas_are_omitted(self):
+        window = obs.window()
+        obs.add(obs.GAC_ITERATIONS, 0)
+        assert window.counters() == {}
+
+    def test_suspension_mutes_counters(self):
+        window = obs.window()
+        with obs.suspended():
+            obs.add(obs.GAC_ITERATIONS)
+        assert window.counter(obs.GAC_ITERATIONS) == 0
+
+    def test_suspension_mutes_spans(self):
+        window = obs.window()
+        with obs.tracing(True), obs.suspended():
+            with obs.span("hidden"):
+                pass
+        assert window.events() == []
+
+    def test_gauge_round_trip(self):
+        obs.gauge("test.gauge", 7)
+        assert obs.gauges_snapshot()["test.gauge"] == 7
+
+
+class TestExporters:
+    def _events(self):
+        window = obs.window()
+        with obs.tracing(True):
+            with obs.span("phase.a"):
+                with obs.span("phase.b"):
+                    pass
+            with obs.span("phase.b"):
+                pass
+        return window.events()
+
+    def test_phase_profile_aggregates_by_name(self):
+        stats = obs.phase_profile(self._events())
+        by_name = {s.name: s for s in stats}
+        assert by_name["phase.b"].calls == 2
+        assert by_name["phase.a"].calls == 1
+        assert by_name["phase.a"].total_s >= by_name["phase.a"].self_s
+        assert stats == sorted(stats, key=lambda s: (-s.total_s, s.name))
+
+    def test_tables_render(self):
+        events = self._events()
+        text = obs.profile_table(obs.phase_profile(events)).format()
+        assert "phase.a" in text and "phase.b" in text
+        counters_text = obs.counters_table({obs.GAC_ITERATIONS: 3}).format()
+        assert obs.GAC_ITERATIONS in counters_text
+
+    def test_chrome_trace_round_trip(self, tmp_path):
+        events = self._events()
+        path = tmp_path / "trace.json"
+        obs.write_chrome_trace(path, events, {obs.GAC_ITERATIONS: 3})
+        assert obs.validate_chrome_trace(path) == []
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert len(document["traceEvents"]) == len(events)
+        assert document["otherData"]["counters"][obs.GAC_ITERATIONS] == 3
+        for row in document["traceEvents"]:
+            assert row["ph"] == "X"
+            assert row["ts"] >= 0 and row["dur"] >= 0
+
+    def test_validate_flags_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.json"
+        obs.write_chrome_trace(path, [], {})
+        assert obs.validate_chrome_trace(path) != []
+
+    def test_validate_flags_malformed_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert obs.validate_chrome_trace(path) != []
+        missing = tmp_path / "nope.json"
+        assert obs.validate_chrome_trace(missing) != []
+
+    def test_record_phases_into_baseline(self):
+        from repro.experiments.reporting import PerfBaseline
+
+        baseline = PerfBaseline(
+            name="t", dataset="toy", num_vertices=1, num_edges=0
+        )
+        obs.record_phases(baseline, obs.phase_profile(self._events()))
+        payload = json.loads(baseline.to_json())
+        assert payload["schema"] == 2
+        assert {row["phase"] for row in payload["phases"]} == {
+            "phase.a",
+            "phase.b",
+        }
+
+
+class TestTracingChangesNothing:
+    """The core contract: tracing on/off yields byte-identical results."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_gac_results_identical(self, seed):
+        g = small_random_graph(seed)
+        off = gac(g, 3, tie_break="id", obs=False)
+        on = gac(g, 3, tie_break="id", obs=True)
+        assert on.anchors == off.anchors
+        assert on.gains == off.gains
+        assert on.followers == off.followers
+        assert [t.counters for t in on.traces] == [
+            t.counters for t in off.traces
+        ]
+
+    def test_decomposition_identical(self):
+        g = figure2_graph()
+        with obs.tracing(False):
+            off = core_decomposition(g)
+        with obs.tracing(True):
+            on = core_decomposition(g)
+        assert on.coreness == off.coreness
+
+
+class TestFig13Parity:
+    """Figure 13 reads the registry; the façades must agree with it."""
+
+    @pytest.mark.parametrize("fn", [gac, gac_u, gac_u_r])
+    def test_window_matches_total_counters(self, fn):
+        g = small_random_graph(1)
+        window = obs.window()
+        result = fn(g, 3)
+        from_registry = FollowerCounters.from_window(window)
+        totals = result.total_counters()
+        assert from_registry.explored_nodes == totals.explored_nodes
+        assert from_registry.reused_nodes == totals.reused_nodes
+        assert from_registry.visited_vertices == totals.visited_vertices
+        assert from_registry.pruned_candidates == totals.pruned_candidates
+
+    def test_fig13_run_reports_registry_totals(self):
+        result = fig13.run(datasets=["brightkite"], budget=2)
+        reported = result.data["nodes"]["brightkite"]["GAC"]
+        window = obs.window()
+        res = gac(registry.load("brightkite"), 2)
+        assert reported == window.counter(obs.EXPLORED_NODES)
+        assert reported == res.total_counters().explored_nodes
+        assert result.data["vertices"]["brightkite"]["GAC"] > 0

@@ -101,8 +101,9 @@ class TestPerfBaseline:
         baseline.notes.append("a note")
         path = baseline.write(tmp_path / "BENCH_substrate.json")
         payload = json.loads(path.read_text())
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
         assert payload["mode"] == "smoke"
+        assert payload["phases"] == []
         assert payload["dataset"] == {
             "name": "toy",
             "num_vertices": 10,

@@ -278,8 +278,8 @@ class TestPipelineHooks:
         gac_module = _gac_module()
         real = gac_module._select_best
 
-        def lying_select(state, cache, counters, **kwargs):
-            best, gain, expired = real(state, cache, counters, **kwargs)
+        def lying_select(state, cache, **kwargs):
+            best, gain, expired = real(state, cache, **kwargs)
             return best, (gain + 1 if best is not None else gain), expired
 
         monkeypatch.setattr(gac_module, "_select_best", lying_select)
@@ -292,8 +292,8 @@ class TestPipelineHooks:
         gac_module = _gac_module()
         real = gac_module._select_best
 
-        def lying_select(state, cache, counters, **kwargs):
-            best, gain, expired = real(state, cache, counters, **kwargs)
+        def lying_select(state, cache, **kwargs):
+            best, gain, expired = real(state, cache, **kwargs)
             return best, (gain + 1 if best is not None else gain), expired
 
         monkeypatch.setattr(gac_module, "_select_best", lying_select)
