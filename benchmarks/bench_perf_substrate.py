@@ -135,6 +135,34 @@ def _run():
         "interned view (build cost reported once as csr_build_s)"
     )
 
+    # Shared-memory hand-off: the one-time cost a candidate-scan pool
+    # pays — the parent exports the interned CSR into shared memory
+    # (dict_s) and each worker attaches and rebuilds a Graph facade over
+    # the zero-copy buffers (csr_s).
+    from repro.parallel import SharedCSR, attach
+
+    csr = csr_view(graph)
+    with obs.tracing(False):
+        t0 = time.perf_counter()
+        shared = SharedCSR.export(csr)
+        export_s = time.perf_counter() - t0
+        try:
+            t0 = time.perf_counter()
+            attachment = attach(shared.handle)
+            try:
+                attachment.csr.to_graph()
+                attach_s = time.perf_counter() - t0
+            finally:
+                attachment.close()
+        finally:
+            shared.close()
+    baseline.record("shared_csr", export_s, attach_s)
+    baseline.notes.append(
+        "shared_csr repurposes the columns: dict_s is the parent-side "
+        "SharedCSR.export, csr_s is the worker-side attach + to_graph; "
+        "its 'speedup' is the export/attach ratio, not a fast-path gain"
+    )
+
     # Profiled pass: the same primitives once more, traced. The phase
     # profile is merged into the baseline and the raw spans become the
     # Chrome trace artifact CI validates and uploads.
@@ -170,6 +198,10 @@ def test_substrate_throughput(benchmark):
     assert timings["peel_decomposition"]["csr_s"] < 5.0
     assert timings["tree_and_adjacency"]["csr_s"] < 8.0
     assert timings["follower_search"]["csr_s"] < 20.0
+    # the shared-memory hand-off is a one-time per-pool cost; it must
+    # stay far below the kernels it feeds
+    assert timings["shared_csr"]["dict_s"] < 2.0
+    assert timings["shared_csr"]["csr_s"] < 2.0
     assert OUT_PATH.exists()
 
     # The traced pass must have produced a non-trivial profile and a

@@ -88,6 +88,16 @@ class FollowerReport:
         """``|F(x)| = g({x})`` — the coreness gain of anchoring ``x``."""
         return sum(self.counts.values())
 
+    @classmethod
+    def from_counts(cls, anchor: Vertex, counts: Mapping[NodeId, int]) -> "FollowerReport":
+        """Rehydrate a report from per-node counts alone (no member sets).
+
+        The shape a candidate-scan worker ships back to the parent: the
+        reuse cache stores counts only (like the paper's), so a shipped
+        report is as storable as a locally computed one.
+        """
+        return cls(anchor=anchor, counts=dict(counts))
+
     def all_members(self) -> set[Vertex]:
         """Union of explored follower sets (valid when nothing was reused)."""
         result: set[Vertex] = set()

@@ -18,18 +18,28 @@ Baseline       ``baseline(g, b)``            full core decomposition
 Tie-breaking between equally good anchors is a first-class parameter
 (Table 7 studies ``"ub"`` / ``"degree"`` / ``"random"``); ``"id"``
 (smallest vertex id) gives fully deterministic runs for testing.
+
+The per-round candidate scan can fan out across worker processes
+(``workers=`` / ``REPRO_PARALLEL``, via :mod:`repro.parallel`) with
+byte-identical results: dispatch is a pure read-only phase over
+bound-sorted chunks, and the merge replays the serial scan's pruning,
+tie-breaking, counter, and cache updates over the shipped results (see
+``docs/parallelism.md``). Serial remains the default and the oracle;
+the pool degrades gracefully back to it.
 """
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Literal
+from typing import TYPE_CHECKING, Callable, Iterable, Literal
 
 from repro import obs as _obs
 from repro.anchors.bounds import UpperBounds, compute_upper_bounds, refined_total
 from repro.anchors.followers import (
     FollowerCounters,
+    FollowerReport,
     find_followers,
     followers_naive,
 )
@@ -37,10 +47,14 @@ from repro.anchors.incremental import apply_anchor
 from repro.anchors.reuse import FollowerCache
 from repro.anchors.state import AnchoredState
 from repro.core.decomposition import _sort_key
+from repro.core.tree import NodeId
 from repro.errors import BudgetError
 from repro.graphs.graph import Graph, Vertex
 from repro.verify import enabled as _verify_enabled
 from repro.verify import verification as _verification
+
+if TYPE_CHECKING:
+    from repro.parallel.pool import CandidateScanPool
 
 TieBreak = Literal["ub", "degree", "random", "id"]
 FollowerMethod = Literal["tree", "naive"]
@@ -48,6 +62,16 @@ FollowerMethod = Literal["tree", "naive"]
 # Module attribute (not a direct call site) so tests can monkeypatch the
 # clock the deadline checks read.
 _clock = _obs.clock
+
+#: Below this many candidates a process pool costs more than it saves
+#: (worker start-up + state rebuild dominate); the greedy stays serial.
+#: Module attribute so tests can force pools onto tiny graphs.
+_MIN_PARALLEL_CANDIDATES = 64
+
+#: Candidates dispatched per worker between threshold barriers when
+#: upper-bound pruning is on. Larger chunks amortize IPC; smaller ones
+#: bound the speculative evaluations past the serial scan's stop point.
+_CHUNK_PER_WORKER = 8
 
 
 @dataclass
@@ -121,6 +145,7 @@ def greedy_anchored_coreness(
     time_limit: float | None = None,
     verify: bool | None = None,
     obs: bool | None = None,
+    workers: int | None = None,
 ) -> GreedyResult:
     """Run the greedy heuristic for the anchored coreness problem.
 
@@ -148,6 +173,14 @@ def greedy_anchored_coreness(
         obs: force span tracing on (``True``) or off (``False``) for
             this run; ``None`` defers to ``REPRO_TRACE``. Tracing never
             changes the result — only whether timings are recorded.
+        workers: fan the candidate scan across this many worker
+            processes (:mod:`repro.parallel`). ``None`` defers to the
+            ``REPRO_PARALLEL`` env var; ``0``/``1`` stay serial. The
+            result is byte-identical to the serial scan for every
+            ``workers`` value — parallelism changes wall-clock only.
+            The pool falls back to the serial scan when it cannot help
+            (tiny graphs, verification on, no CSR view, spawn failure),
+            recording a ``gac.parallel_fallback.*`` gauge.
 
     Raises:
         BudgetError: if ``budget`` is negative or exceeds the number of
@@ -178,6 +211,7 @@ def greedy_anchored_coreness(
             rng=rng,
             time_limit=time_limit,
             start=start,
+            workers=workers,
         )
 
 
@@ -193,6 +227,7 @@ def _run_greedy(
     rng: random.Random,
     time_limit: float | None,
     start: float,
+    workers: int | None,
 ) -> GreedyResult:
     """The greedy loop proper (runs inside the verification context)."""
 
@@ -205,64 +240,80 @@ def _run_greedy(
     base_coreness = dict(state.decomposition.coreness)
     cache = FollowerCache()
     result = GreedyResult()
+    pool: "CandidateScanPool | None" = None
+    if budget > 0:
+        pool = _make_pool(
+            graph, workers, follower_method, graph.num_vertices - len(initial)
+        )
 
-    for _ in range(budget):
-        if deadline is not None and _clock() > deadline:
-            result.truncated = True
-            break
-        iter_start = _clock()
-        iter_window = _obs.window()
-        with _obs.span("gac.iteration", iteration=len(result.anchors)):
-            best, best_gain, expired = _select_best(
-                state,
-                cache,
-                base_coreness=base_coreness,
-                use_upper_bounds=use_upper_bounds,
-                reuse=reuse,
-                follower_method=follower_method,
-                tie_break=tie_break,
-                rng=rng,
-                deadline=deadline,
-            )
-            if expired:
+    try:
+        for _ in range(budget):
+            if deadline is not None and _clock() > deadline:
                 result.truncated = True
                 break
-            if best is None:
-                break
-            # Pruning soundness: the chosen candidate must be a true argmax
-            # over ALL candidates — the upper bound never hid a better one.
-            if _verify_enabled():
-                from repro.verify.invariants import verify_selection
-
-                verify_selection(state, base_coreness, best, best_gain)
-            # The iteration's work counters are the registry delta since
-            # the window opened (the registry is the single source; this
-            # façade keeps the Figure 13 per-iteration shape).
-            counters = FollowerCounters.from_window(iter_window)
-            result.anchors.append(best)
-            result.gains.append(best_gain)
-            # Materializing the chosen anchor's follower set is
-            # bookkeeping, not part of the measured candidate search.
-            with _obs.suspended():
-                result.followers[best] = _follower_set(state, best, follower_method)
-            result.traces.append(
-                IterationTrace(
-                    anchor=best,
-                    gain=best_gain,
-                    elapsed_seconds=_clock() - iter_start,
-                    counters=counters,
-                    candidate_count=graph.num_vertices - len(state.anchors),
+            iter_start = _clock()
+            iter_window = _obs.window()
+            with _obs.span("gac.iteration", iteration=len(result.anchors)):
+                best, best_gain, expired = _select_best(
+                    state,
+                    cache,
+                    base_coreness=base_coreness,
+                    use_upper_bounds=use_upper_bounds,
+                    reuse=reuse,
+                    follower_method=follower_method,
+                    tie_break=tie_break,
+                    rng=rng,
+                    deadline=deadline,
+                    pool=pool,
                 )
-            )
-            _obs.add(_obs.GAC_ITERATIONS)
-            # Anchor in place: the paper's local subtree rebuild (Algorithm 3
-            # lines 7-10) re-decomposes only the anchored vertex's component.
-            removals = apply_anchor(state, best, compute_removals=reuse)
-            if reuse:
-                cache.apply_removals(removals)
-                cache.forget(best)
-            else:
-                cache.clear()
+                if pool is not None and pool.broken:
+                    # A worker died or a dispatch failed: the scan already
+                    # fell back to serial for this round; stay serial for
+                    # the rest of the run rather than respawning.
+                    pool.close()
+                    pool = None
+                if expired:
+                    result.truncated = True
+                    break
+                if best is None:
+                    break
+                # Pruning soundness: the chosen candidate must be a true argmax
+                # over ALL candidates — the upper bound never hid a better one.
+                if _verify_enabled():
+                    from repro.verify.invariants import verify_selection
+
+                    verify_selection(state, base_coreness, best, best_gain)
+                # The iteration's work counters are the registry delta since
+                # the window opened (the registry is the single source; this
+                # façade keeps the Figure 13 per-iteration shape).
+                counters = FollowerCounters.from_window(iter_window)
+                result.anchors.append(best)
+                result.gains.append(best_gain)
+                # Materializing the chosen anchor's follower set is
+                # bookkeeping, not part of the measured candidate search.
+                with _obs.suspended():
+                    result.followers[best] = _follower_set(state, best, follower_method)
+                result.traces.append(
+                    IterationTrace(
+                        anchor=best,
+                        gain=best_gain,
+                        elapsed_seconds=_clock() - iter_start,
+                        counters=counters,
+                        candidate_count=graph.num_vertices - len(state.anchors),
+                    )
+                )
+                _obs.add(_obs.GAC_ITERATIONS)
+                # Anchor in place: the paper's local subtree rebuild (Algorithm 3
+                # lines 7-10) re-decomposes only the anchored vertex's component.
+                removals = apply_anchor(state, best, compute_removals=reuse)
+                if reuse:
+                    cache.apply_removals(removals)
+                    cache.forget(best)
+                else:
+                    cache.clear()
+    finally:
+        if pool is not None:
+            pool.close()
     if _verify_enabled():
         from repro.verify.invariants import verify_greedy_total
 
@@ -281,6 +332,7 @@ def _select_best(
     tie_break: TieBreak,
     rng: random.Random,
     deadline: float | None = None,
+    pool: "CandidateScanPool | None" = None,
 ) -> tuple[Vertex | None, int, bool]:
     """One greedy iteration: the candidate with the best marginal gain.
 
@@ -294,6 +346,10 @@ def _select_best(
     the iteration aborts with ``(None, 0, True)`` — a partial winner
     would depend on how far the scan got, i.e. on wall-clock noise, so
     an expired iteration never reports one.
+
+    When ``pool`` is given the scan is dispatched to worker processes
+    (:func:`_scan_parallel`); any failure there falls back to the serial
+    scan with no state mutated, so the result is unchanged either way.
     """
     candidates = state.candidates()
     if not candidates:
@@ -311,42 +367,259 @@ def _select_best(
         order = sorted(candidates, key=_sort_key)
 
     tie_of = _tie_function(tie_break, state, refined, rng)
-    node_k = {nid: node.k for nid, node in state.tree.nodes.items()}
+    node_k = state.node_k()
+    with _obs.span("gac.candidate_scan", candidates=len(order)):
+        if pool is not None and not pool.broken:
+            outcome = _scan_parallel(
+                state,
+                cache,
+                pool,
+                order=order,
+                refined=refined,
+                use_upper_bounds=use_upper_bounds,
+                reuse=reuse,
+                follower_method=follower_method,
+                tie_of=tie_of,
+                node_k=node_k,
+                base_coreness=base_coreness,
+                deadline=deadline,
+            )
+            if outcome is not None:
+                return outcome
+        return _scan_serial(
+            state,
+            cache,
+            order=order,
+            refined=refined,
+            use_upper_bounds=use_upper_bounds,
+            reuse=reuse,
+            follower_method=follower_method,
+            tie_of=tie_of,
+            node_k=node_k,
+            base_coreness=base_coreness,
+            deadline=deadline,
+        )
+
+
+def _scan_serial(
+    state: AnchoredState,
+    cache: FollowerCache,
+    *,
+    order: list[Vertex],
+    refined: dict[Vertex, int],
+    use_upper_bounds: bool,
+    reuse: bool,
+    follower_method: FollowerMethod,
+    tie_of: Callable[[Vertex], object],
+    node_k: dict[NodeId, int],
+    base_coreness: dict[Vertex, int],
+    deadline: float | None,
+) -> tuple[Vertex | None, int, bool]:
+    """The serial candidate scan — the oracle the parallel scan must match."""
     best: Vertex | None = None
     best_gain = -1
     best_tie = None
-    with _obs.span("gac.candidate_scan", candidates=len(order)):
-        for u in order:
-            if deadline is not None and _clock() > deadline:
-                return None, 0, True
-            # Prune strictly below the best gain (the paper prunes <=; the
-            # strict form also evaluates potential ties so tie-breaking sees
-            # the same candidate pool as the unpruned variants).
-            if use_upper_bounds and refined[u] < best_gain:
-                _obs.add(_obs.PRUNED_CANDIDATES)
-                continue
-            if follower_method == "naive":
-                follower_count = len(
-                    followers_naive(
-                        state.graph, u, anchors=state.anchors, base=state.decomposition
-                    )
+    for u in order:
+        if deadline is not None and _clock() > deadline:
+            return None, 0, True
+        # Prune strictly below the best gain (the paper prunes <=; the
+        # strict form also evaluates potential ties so tie-breaking sees
+        # the same candidate pool as the unpruned variants).
+        if use_upper_bounds and refined[u] < best_gain:
+            _obs.add(_obs.PRUNED_CANDIDATES)
+            continue
+        if follower_method == "naive":
+            follower_count = len(
+                followers_naive(
+                    state.graph, u, anchors=state.anchors, base=state.decomposition
                 )
-                _obs.add(_obs.EVALUATED_CANDIDATES)
-            else:
-                cached = cache.valid_counts(u, state) if reuse else None
-                report = find_followers(state, u, reusable_counts=cached)
-                if reuse:
-                    cache.store(report, node_k)
-                follower_count = report.total
-            own_gain = state.decomposition.coreness[u] - base_coreness[u]
-            gain = follower_count - own_gain
+            )
+            _obs.add(_obs.EVALUATED_CANDIDATES)
+        else:
+            cached = cache.valid_counts(u, state) if reuse else None
+            report = find_followers(state, u, reusable_counts=cached)
+            if reuse:
+                cache.store(report, node_k)
+            follower_count = report.total
+        own_gain = state.decomposition.coreness[u] - base_coreness[u]
+        gain = follower_count - own_gain
+        if gain > best_gain:
+            best, best_gain, best_tie = u, gain, tie_of(u)
+        elif gain == best_gain and best is not None:
+            tie = tie_of(u)
+            if tie > best_tie:
+                best, best_tie = u, tie
+    return best, best_gain, False
+
+
+def _scan_parallel(
+    state: AnchoredState,
+    cache: FollowerCache,
+    pool: "CandidateScanPool",
+    *,
+    order: list[Vertex],
+    refined: dict[Vertex, int],
+    use_upper_bounds: bool,
+    reuse: bool,
+    follower_method: FollowerMethod,
+    tie_of: Callable[[Vertex], object],
+    node_k: dict[NodeId, int],
+    base_coreness: dict[Vertex, int],
+    deadline: float | None,
+) -> tuple[Vertex | None, int, bool] | None:
+    """Dispatch the candidate scan to the pool, then replay the serial merge.
+
+    Phase A ships bound-sorted chunks of candidates to the workers.
+    Between chunk barriers a *simulated* best gain advances exactly like
+    the serial scan's threshold, so a chunk only dispatches candidates
+    whose bound still clears it. The threshold at a candidate's chunk
+    start is a lower bound on the serial scan's threshold when it
+    reaches that candidate (gains of bound-pruned candidates can never
+    raise the running maximum), hence every candidate the serial scan
+    evaluates is provably in the dispatched set — the speculative extras
+    are discarded unmerged. Phase A is read-only: it mutates neither the
+    cache nor the registry (dispatch-side validations run suspended), so
+    any failure can simply return ``None`` and let the serial scan run.
+
+    Phase B replays the serial loop over the shipped results: identical
+    pruning threshold, identical tie-break sequence (including RNG
+    consumption), identical cache stores, and the workers' counter
+    deltas merged into the parent registry — all inside the caller's
+    iteration window, so Figure 13 totals match the serial scan's.
+    """
+    epoch = len(state.anchors)
+    anchors = tuple(sorted(state.anchors, key=_sort_key))
+    coreness = state.decomposition.coreness
+    chunk_size = (
+        max(16, _CHUNK_PER_WORKER * pool.workers) if use_upper_bounds else len(order)
+    )
+    # candidate -> (marginal gain, per-node counts | None, counter deltas)
+    evaluated: dict[Vertex, tuple[int, dict[NodeId, int] | None, dict[str, int]]] = {}
+    reusable_of: dict[Vertex, dict[NodeId, int] | None] = {}
+    sim_best = -1
+    chunk_count = 0
+    with _obs.span(
+        "gac.parallel_scan", candidates=len(order), workers=pool.workers
+    ) as sp:
+        try:
+            for chunk_start in range(0, len(order), chunk_size):
+                if deadline is not None and _clock() > deadline:
+                    return None, 0, True
+                chunk = order[chunk_start : chunk_start + chunk_size]
+                tasks: list[tuple[Vertex, dict[NodeId, int] | None]] = []
+                for u in chunk:
+                    if use_upper_bounds and refined[u] < sim_best:
+                        continue
+                    if reuse:
+                        # Validation must not count: phase B replays the
+                        # REUSE_SERVED adds in serial order.
+                        with _obs.suspended():
+                            reusable = cache.valid_counts(u, state)
+                    else:
+                        reusable = None
+                    reusable_of[u] = reusable
+                    tasks.append((u, reusable))
+                if tasks:
+                    chunk_count += 1
+                    for candidate, total, counts, deltas in pool.evaluate(
+                        epoch, anchors, tasks
+                    ):
+                        own_gain = coreness[candidate] - base_coreness[candidate]
+                        evaluated[candidate] = (total - own_gain, counts, deltas)
+                if use_upper_bounds:
+                    # Advance the threshold exactly as phase B will: gains
+                    # of candidates phase B prunes are below it already.
+                    for u in chunk:
+                        entry = evaluated.get(u)
+                        if entry is not None and entry[0] > sim_best:
+                            sim_best = entry[0]
+        except Exception:
+            # Nothing was mutated; the caller reruns the scan serially.
+            pool.broken = True
+            _obs.gauge("gac.parallel_fallback.scan_error", 1.0)
+            return None
+
+        best: Vertex | None = None
+        best_gain = -1
+        best_tie = None
+        pending: dict[str, int] = {}
+
+        def _defer(name: str, value: int = 1) -> None:
+            pending[name] = pending.get(name, 0) + value
+
+        for u in order:
+            if use_upper_bounds and refined[u] < best_gain:
+                _defer(_obs.PRUNED_CANDIDATES)
+                continue
+            gain, counts, deltas = evaluated[u]
+            for name, value in deltas.items():
+                _defer(name, value)
+            reusable = reusable_of.get(u)
+            if reusable:
+                _defer(_obs.REUSE_SERVED, len(reusable))
+            if follower_method == "naive":
+                # The worker's delta has the decomposition counters; the
+                # serial scan adds this one itself after the oracle call.
+                _defer(_obs.EVALUATED_CANDIDATES)
+            elif reuse and counts is not None:
+                cache.store(FollowerReport.from_counts(u, counts), node_k)
             if gain > best_gain:
                 best, best_gain, best_tie = u, gain, tie_of(u)
             elif gain == best_gain and best is not None:
                 tie = tie_of(u)
                 if tie > best_tie:
                     best, best_tie = u, tie
+        for name in sorted(pending):
+            _obs.add(name, pending[name])
+        if isinstance(sp, _obs.Span):
+            sp.args["tasks"] = len(evaluated)
+            sp.args["chunks"] = chunk_count
     return best, best_gain, False
+
+
+def _make_pool(
+    graph: Graph,
+    workers: int | None,
+    follower_method: FollowerMethod,
+    candidate_count: int,
+) -> "CandidateScanPool | None":
+    """Build a candidate-scan pool, or return ``None`` to stay serial.
+
+    Every fallback records a ``gac.parallel_fallback.<reason>`` gauge so
+    a run that silently stayed serial is diagnosable after the fact.
+    The import is lazy: the serial default never touches
+    :mod:`multiprocessing`.
+    """
+    if workers is not None and workers <= 1:
+        if workers == 1:
+            _obs.gauge("gac.parallel_fallback.single_worker", 1.0)
+        return None
+    if workers is None and not os.environ.get("REPRO_PARALLEL", "").strip():
+        return None
+    from repro.parallel import CandidateScanPool, PoolUnavailable, resolve_workers
+
+    count = resolve_workers(workers)
+    if count <= 0:
+        return None
+    if count == 1:
+        _obs.gauge("gac.parallel_fallback.single_worker", 1.0)
+        return None
+    if _verify_enabled():
+        # Verification oracles run inside worker evaluations and would be
+        # skipped there; keep verified runs on the fully checked path.
+        _obs.gauge("gac.parallel_fallback.verify", 1.0)
+        return None
+    if candidate_count < _MIN_PARALLEL_CANDIDATES:
+        _obs.gauge("gac.parallel_fallback.small_graph", 1.0)
+        return None
+    try:
+        return CandidateScanPool(graph, count, follower_method=follower_method)
+    except PoolUnavailable:
+        _obs.gauge("gac.parallel_fallback.unavailable", 1.0)
+        return None
+    except OSError:
+        _obs.gauge("gac.parallel_fallback.spawn_error", 1.0)
+        return None
 
 
 def _tie_function(

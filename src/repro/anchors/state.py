@@ -110,6 +110,10 @@ class AnchoredState:
         """``tca[u]``: u's neighbors partitioned by their tree node."""
         return self.adjacency.tca[u]
 
+    def node_k(self) -> dict[NodeId, int]:
+        """Coreness per tree node id (the reuse cache's validation key)."""
+        return {nid: node.k for nid, node in self.tree.nodes.items()}
+
     def candidates(self) -> list[Vertex]:
         """All non-anchor vertices (the anchor candidate pool)."""
         return [u for u in self.graph.vertices() if u not in self.anchors]

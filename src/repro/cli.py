@@ -103,7 +103,7 @@ def _cmd_anchor(args: argparse.Namespace) -> int:
     window = obs.window()
     with obs.tracing(True if args.profile else None):
         if args.method == "gac":
-            result = gac(graph, args.budget)
+            result = gac(graph, args.budget, workers=args.workers)
             anchors, gain = result.anchors, result.total_gain
         elif args.method == "olak":
             if args.k is None:
@@ -169,6 +169,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_anchor.add_argument("-b", "--budget", type=int, default=10)
     p_anchor.add_argument("--k", type=int, help="core parameter (olak only)")
     p_anchor.add_argument("--seed", type=int, default=0, help="RNG seed (Rand only)")
+    p_anchor.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="candidate-scan worker processes (gac only; default: "
+        "REPRO_PARALLEL, else serial). Results are identical for every "
+        "value — this knob trades processes for wall-clock only.",
+    )
     _add_profile_knobs(p_anchor)
     p_anchor.set_defaults(func=_cmd_anchor)
 

@@ -1,4 +1,4 @@
-"""The determinism lint rules (R1–R6) and the rule registry.
+"""The determinism lint rules (R1–R8) and the rule registry.
 
 Each rule is a small class implementing the :class:`Rule` protocol and
 registered via :func:`register`. Rules are pure AST passes over a
@@ -31,6 +31,12 @@ Rule id   Waiver slug        What it forbids
                              tests, and ``benchmarks/`` — measured sections
                              must read ``repro.obs.clock`` so every timing
                              flows through the one observability substrate
+``R8``    ``parallel-ok``    importing ``multiprocessing`` /
+                             ``concurrent.futures`` anywhere outside
+                             ``repro/parallel/``, tests, and ``benchmarks/`` —
+                             process fan-out must go through the one pool
+                             whose merge is proven result-identical to the
+                             serial scan
 ========  =================  ==================================================
 
 A violation is waived by a ``# lint: <slug> <reason>`` comment on the
@@ -96,6 +102,7 @@ class LintContext:
     is_benchmark: bool = False
     is_experiment: bool = False
     is_obs: bool = False
+    is_parallel: bool = False
     order_sensitive: bool = False
     _parents: dict[ast.AST, ast.AST] = field(default_factory=dict, repr=False)
 
@@ -723,5 +730,54 @@ class TimerSubstrateRule:
                         "observability substrate; import repro.obs.clock "
                         "instead",
                     )
+            if diag is not None:
+                yield diag
+
+
+# ----------------------------------------------------------------------
+# R8 — process fan-out outside the parallel substrate
+# ----------------------------------------------------------------------
+
+_PROCESS_MODULE_HEADS = frozenset({"multiprocessing", "concurrent"})
+
+
+@register
+class ParallelContainmentRule:
+    """R8: ``multiprocessing`` / ``concurrent.futures`` live in ``repro.parallel``."""
+
+    rule_id: ClassVar[str] = "R8"
+    slug: ClassVar[str] = "parallel-ok"
+    summary: ClassVar[str] = (
+        "no multiprocessing/concurrent.futures imports outside "
+        "repro/parallel/, tests, and benchmarks/; process fan-out goes "
+        "through the candidate-scan pool, whose deterministic merge keeps "
+        "results byte-identical to the serial scan"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        if ctx.is_test or ctx.is_benchmark or ctx.is_parallel:
+            return
+        for node in ast.walk(ctx.tree):
+            names: list[str] = []
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module is not None:
+                names = [node.module]
+            offending = sorted(
+                {
+                    name
+                    for name in names
+                    if name.split(".", 1)[0] in _PROCESS_MODULE_HEADS
+                }
+            )
+            if not offending:
+                continue
+            diag = ctx.diagnostic(
+                node,
+                self,
+                f"importing {', '.join(offending)} outside repro/parallel/; "
+                "fan work out through repro.parallel.CandidateScanPool (or "
+                "waive with '# lint: parallel-ok <reason>')",
+            )
             if diag is not None:
                 yield diag

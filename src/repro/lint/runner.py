@@ -11,8 +11,8 @@ A violation is waived by a comment on the offending line::
 
 The comment must start with ``lint:`` followed by one or more waiver
 slugs (``order-ok``, ``random-ok``, ``mutable-default-ok``,
-``float-eq-ok``, ``purity-ok``, ``clock-ok``, ``timer-ok``) and, by
-convention, a
+``float-eq-ok``, ``purity-ok``, ``clock-ok``, ``timer-ok``,
+``parallel-ok``) and, by convention, a
 reason. Waivers are per-line and per-rule: they never silence a whole
 file, and an unknown slug is itself reported so typos cannot silently
 disable checking.
@@ -104,6 +104,7 @@ def classify(path: Path, root: Path | None = None) -> dict[str, bool]:
         "is_benchmark": "benchmarks" in parts[:-1] or name.startswith("bench_"),
         "is_experiment": "experiments" in parts[:-1],
         "is_obs": "obs" in parts[:-1],
+        "is_parallel": "parallel" in parts[:-1],
         "order_sensitive": any(part in ORDER_SENSITIVE_DIRS for part in parts[:-1]),
     }
 
@@ -137,6 +138,7 @@ def lint_source(
     roles.setdefault("is_benchmark", False)
     roles.setdefault("is_experiment", False)
     roles.setdefault("is_obs", False)
+    roles.setdefault("is_parallel", False)
     roles.setdefault("order_sensitive", True)
     ctx, problems = build_context(source, path, **roles)
     diagnostics = list(problems)

@@ -39,6 +39,8 @@ from repro.obs.runtime import (
     EXPLORED_NODES,
     GAC_ITERATIONS,
     OLAK_ITERATIONS,
+    PARALLEL_CHUNKS,
+    PARALLEL_TASKS,
     PEEL_POPS,
     PRUNED_CANDIDATES,
     REUSE_DROPPED,
@@ -72,6 +74,8 @@ __all__ = [
     "EXPLORED_NODES",
     "GAC_ITERATIONS",
     "OLAK_ITERATIONS",
+    "PARALLEL_CHUNKS",
+    "PARALLEL_TASKS",
     "PEEL_POPS",
     "PRUNED_CANDIDATES",
     "REUSE_DROPPED",

@@ -65,6 +65,10 @@ REUSE_SERVED = "reuse.counts_served"
 REUSE_DROPPED = "reuse.entries_dropped"
 #: Greedy iterations completed by OLAK.
 OLAK_ITERATIONS = "olak.iterations"
+#: Candidate evaluations shipped to scan workers (repro.parallel).
+PARALLEL_TASKS = "parallel.tasks"
+#: Dispatch batches (chunk barriers) executed by the parallel scan.
+PARALLEL_CHUNKS = "parallel.chunks"
 
 _counters: dict[str, int] = {}
 _gauges: dict[str, float] = {}

@@ -1,0 +1,143 @@
+"""Parent-side process pool for the GAC candidate scan.
+
+:class:`CandidateScanPool` owns a ``ProcessPoolExecutor`` whose workers
+attach a one-time shared-memory export of the graph's CSR view
+(:mod:`repro.parallel.shm`) and evaluate ``(epoch, candidate)`` tasks
+(:mod:`repro.parallel.worker`). The pool itself is policy-free: it
+ships task batches and returns results in dispatch order; the
+determinism-preserving two-phase scan (bound-sorted chunks, threshold
+barriers, serial replay merge) lives with the greedy in
+:mod:`repro.anchors.gac`.
+
+Failure model: any worker/pickling/executor error marks the pool
+``broken`` and propagates to the caller, which falls back to the serial
+scan — dispatch never mutates shared algorithm state, so a failed batch
+leaves the round exactly where the serial scan would start it. A hard
+worker death surfaces as ``BrokenProcessPool`` (the executor, unlike
+``multiprocessing.Pool``, never hangs on it).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro import obs as _obs
+from repro.core.tree import NodeId
+from repro.graphs.csr import csr_view
+from repro.graphs.graph import Graph, Vertex
+from repro.parallel import worker as _worker
+from repro.parallel.shm import SharedCSR
+from repro.parallel.util import ENV_START
+
+#: Keep batches small enough for load balancing across workers but
+#: large enough to amortize the per-submission IPC.
+_TARGET_BATCHES_PER_WORKER = 4
+
+
+class PoolUnavailable(RuntimeError):
+    """A candidate-scan pool cannot be built in this configuration."""
+
+
+def _start_method(override: str | None = None) -> str:
+    """The multiprocessing start method: override, env, else prefer fork.
+
+    ``fork`` makes worker start-up (and therefore small-graph runs)
+    dramatically cheaper than ``spawn``; results are identical either
+    way because workers rebuild all state from the shared CSR + task
+    payloads. Unknown or unavailable requests fall back silently — the
+    knob tunes speed, never semantics.
+    """
+    requested = (override or os.environ.get(ENV_START, "")).strip()
+    available = multiprocessing.get_all_start_methods()
+    if requested in available:
+        return requested
+    return "fork" if "fork" in available else available[0]
+
+
+class CandidateScanPool:
+    """A worker pool bound to one graph snapshot for follower evaluation.
+
+    Args:
+        graph: the (unmutated) graph the greedy is running on; its CSR
+            view is exported to shared memory once, here.
+        workers: process count (must be >= 2 — the caller handles the
+            serial cases).
+        follower_method: ``"tree"`` (Algorithm 4) or ``"naive"``.
+        start_method: optional multiprocessing start-method override
+            (defaults to ``REPRO_PARALLEL_START``, then ``fork``).
+
+    Raises:
+        PoolUnavailable: no CSR view (``REPRO_CSR=0`` or unorderable
+            labels), a bad worker count, or executor start-up failure.
+    """
+
+    __slots__ = ("workers", "broken", "_shared", "_executor")
+
+    def __init__(
+        self,
+        graph: Graph,
+        workers: int,
+        *,
+        follower_method: str = "tree",
+        start_method: str | None = None,
+    ) -> None:
+        if workers < 2:
+            raise PoolUnavailable(f"need >= 2 workers for a pool, got {workers}")
+        csr = csr_view(graph)
+        if csr is None:
+            raise PoolUnavailable(
+                "graph has no CSR view (REPRO_CSR=0 or unorderable labels)"
+            )
+        self.workers = workers
+        self.broken = False
+        self._shared = SharedCSR.export(csr)
+        try:
+            self._executor = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context(_start_method(start_method)),
+                initializer=_worker.init_worker,
+                initargs=(self._shared.handle, follower_method),
+            )
+        except Exception as exc:
+            self._shared.close()
+            raise PoolUnavailable(f"process pool failed to start: {exc}") from exc
+
+    def evaluate(
+        self,
+        epoch: int,
+        anchors: tuple[Vertex, ...],
+        tasks: "list[tuple[Vertex, dict[NodeId, int] | None]]",
+    ) -> list[_worker.TaskResult]:
+        """Evaluate one batch of candidates; results in dispatch order.
+
+        Any failure (worker crash, pickling error, broken executor)
+        marks the pool broken and re-raises; the caller falls back to
+        the serial scan for the whole round.
+        """
+        payloads: list[_worker.TaskPayload] = [
+            (epoch, anchors, candidate, reusable) for candidate, reusable in tasks
+        ]
+        chunksize = max(
+            1, -(-len(payloads) // (self.workers * _TARGET_BATCHES_PER_WORKER))
+        )
+        try:
+            results = list(
+                self._executor.map(_worker.evaluate, payloads, chunksize=chunksize)
+            )
+        except Exception:
+            self.broken = True
+            raise
+        _obs.add(_obs.PARALLEL_TASKS, len(payloads))
+        _obs.add(_obs.PARALLEL_CHUNKS)
+        return results
+
+    def close(self) -> None:
+        """Shut the executor down and release the shared-memory export."""
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        self._shared.close()
+
+    def __repr__(self) -> str:
+        state = "broken" if self.broken else "ready"
+        return f"CandidateScanPool(workers={self.workers}, {state})"

@@ -1,0 +1,111 @@
+"""Worker-process side of the candidate-scan pool.
+
+Each worker attaches the shared CSR block once (pool initializer),
+materializes the adjacency :class:`~repro.graphs.graph.Graph` from it —
+with the zero-copy CSR view pre-interned, so substrate kernels hit the
+flat fast path exactly like the parent's — and caches one derived state
+per round epoch. Tasks then carry only ``(epoch, anchors, candidate,
+reusable_counts)``.
+
+Determinism contract: a worker rebuilds ``AnchoredState`` from the same
+graph and anchor set the parent holds, and every derived structure
+(decomposition, tree node ids, adjacency) is deterministic given those
+inputs, so per-candidate follower reports are byte-identical to what the
+serial scan would compute. Tracing and verification are forced off in
+workers; the work counters of each evaluation are captured as a
+registry :class:`~repro.obs.Window` delta and shipped back for the
+parent's deterministic merge (epoch state rebuilds run suspended — the
+serial scan builds its state once outside the candidate loop too).
+"""
+
+from __future__ import annotations
+
+import atexit
+
+from repro import obs as _obs
+from repro.anchors.followers import find_followers, followers_naive
+from repro.anchors.state import AnchoredState
+from repro.core.decomposition import CoreDecomposition, core_decomposition
+from repro.core.tree import NodeId
+from repro.graphs.graph import Graph, Vertex
+from repro.parallel.shm import AttachedCSR, SharedCSRHandle, attach
+from repro.verify import verification as _verification
+
+#: One dispatched candidate: (round epoch, sorted anchors, candidate,
+#: validated reuse counts — ``None`` on the no-reuse / naive paths).
+TaskPayload = tuple[int, "tuple[Vertex, ...]", Vertex, "dict[NodeId, int] | None"]
+#: One result: (candidate, follower total, per-node counts for the
+#: reuse cache — ``None`` on the naive path — and the counter deltas
+#: this evaluation produced).
+TaskResult = tuple[Vertex, int, "dict[NodeId, int] | None", "dict[str, int]"]
+
+
+class _WorkerState:
+    """Per-process singleton: the attached graph + per-epoch derived state."""
+
+    __slots__ = ("attachment", "graph", "follower_method", "epoch", "state", "base")
+
+    def __init__(
+        self, attachment: AttachedCSR, graph: Graph, follower_method: str
+    ) -> None:
+        self.attachment = attachment
+        self.graph = graph
+        self.follower_method = follower_method
+        self.epoch = -1
+        self.state: AnchoredState | None = None
+        self.base: CoreDecomposition | None = None
+
+
+_state: _WorkerState | None = None
+
+
+def init_worker(handle: SharedCSRHandle, follower_method: str) -> None:
+    """Pool initializer: attach the shared CSR and build the graph once."""
+    global _state
+    attachment = attach(handle)
+    with _obs.tracing(False), _obs.suspended():
+        graph = attachment.csr.to_graph()
+    _state = _WorkerState(attachment, graph, follower_method)
+    # Release the memoryviews before the mapping at interpreter exit;
+    # the reverse order raises BufferError during teardown.
+    atexit.register(attachment.close)
+
+
+def _state_for(epoch: int, anchors: tuple[Vertex, ...]) -> _WorkerState:
+    """The cached per-epoch state, rebuilt when the round moved on."""
+    worker = _state
+    if worker is None:
+        raise RuntimeError("worker used before init_worker ran")
+    if worker.epoch != epoch:
+        anchor_set = frozenset(anchors)
+        with _obs.suspended():
+            if worker.follower_method == "naive":
+                worker.base = core_decomposition(worker.graph, anchor_set)
+                worker.state = None
+            else:
+                worker.state = AnchoredState.build(worker.graph, anchor_set)
+                worker.base = None
+        worker.epoch = epoch
+    return worker
+
+
+def evaluate(task: TaskPayload) -> TaskResult:
+    """Evaluate one candidate's followers; ship result + counter deltas."""
+    epoch, anchors, candidate, reusable = task
+    with _obs.tracing(False), _verification(False):
+        worker = _state_for(epoch, anchors)
+        window = _obs.window()
+        if worker.follower_method == "naive":
+            total = len(
+                followers_naive(
+                    worker.graph, candidate, anchors=frozenset(anchors), base=worker.base
+                )
+            )
+            counts: dict[NodeId, int] | None = None
+        else:
+            state = worker.state
+            assert state is not None  # _state_for always builds one per epoch
+            report = find_followers(state, candidate, reusable_counts=reusable)
+            total = report.total
+            counts = dict(report.counts)
+        return candidate, total, counts, window.counters()

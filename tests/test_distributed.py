@@ -1,6 +1,8 @@
 """Tests for the simulated distributed core decomposition."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core.decomposition import core_decomposition
 from repro.distributed import DistributedRun, distributed_core_decomposition, h_index
@@ -10,6 +12,18 @@ from repro.graphs.graph import Graph
 from conftest import small_random_graph
 
 
+def _h_index_by_sorting(values: list[int]) -> int:
+    """The original O(d log d) reference the bucket version replaced."""
+    ranked = sorted(values, reverse=True)
+    h = 0
+    for i, value in enumerate(ranked, start=1):
+        if value >= i:
+            h = i
+        else:
+            break
+    return h
+
+
 class TestHIndex:
     def test_basic(self):
         assert h_index([3, 3, 3]) == 3
@@ -17,6 +31,19 @@ class TestHIndex:
         assert h_index([]) == 0
         assert h_index([0, 0]) == 0
         assert h_index([2, 2, 2, 2]) == 2
+
+    def test_values_above_length_clamp(self):
+        # a single huge value supports exactly h = 1
+        assert h_index([10**9]) == 1
+        assert h_index([10**9, 10**9]) == 2
+
+    @given(st.lists(st.integers(min_value=-5, max_value=200), max_size=80))
+    def test_matches_sorting_reference(self, values):
+        assert h_index(values) == _h_index_by_sorting(values)
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), max_size=80))
+    def test_order_invariant(self, values):
+        assert h_index(values) == h_index(sorted(values))
 
 
 class TestConvergence:

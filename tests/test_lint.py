@@ -1,4 +1,4 @@
-"""Fixture suite for the repro.lint determinism linter (rules R1-R7).
+"""Fixture suite for the repro.lint determinism linter (rules R1-R8).
 
 Every rule gets a violating snippet (must fire) and a corrected version
 (must stay silent); waiver comments, JSON output, the baseline
@@ -138,6 +138,23 @@ def measure():
     return clock()
 """,
     ),
+    "R8": (
+        """
+from concurrent.futures import ProcessPoolExecutor
+
+
+def fan_out(tasks):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(str, tasks))
+""",
+        """
+from repro.parallel import CandidateScanPool
+
+
+def fan_out(graph, workers):
+    return CandidateScanPool(graph, workers)
+""",
+    ),
 }
 
 
@@ -217,6 +234,21 @@ class TestRoles:
         assert lint_source(violating, is_benchmark=True) == []
         assert lint_source(violating, is_obs=True) == []
 
+    def test_r8_exempt_in_parallel_benchmarks_and_tests(self):
+        violating, _ = FIXTURES["R8"]
+        assert lint_source(violating, is_test=True) == []
+        assert lint_source(violating, is_benchmark=True) == []
+        assert lint_source(violating, is_parallel=True) == []
+
+    def test_r8_fires_on_multiprocessing_import_forms(self):
+        for snippet in (
+            "import multiprocessing\n",
+            "import multiprocessing.shared_memory\n",
+            "from multiprocessing import Pool\n",
+            "from concurrent.futures import ThreadPoolExecutor\n",
+        ):
+            assert {d.rule for d in lint_source(snippet)} == {"R8"}, snippet
+
     def test_classify_from_path(self):
         roles = classify(Path("src/repro/anchors/gac.py"))
         assert roles["order_sensitive"] and not roles["is_test"]
@@ -226,6 +258,10 @@ class TestRoles:
         assert roles["is_benchmark"]
         roles = classify(Path("src/repro/obs/runtime.py"))
         assert roles["is_obs"] and not roles["is_test"]
+        roles = classify(Path("src/repro/parallel/pool.py"))
+        assert roles["is_parallel"] and not roles["is_test"]
+        roles = classify(Path("src/repro/anchors/gac.py"))
+        assert not roles["is_parallel"]
 
 
 def test_json_output_round_trip():
@@ -290,6 +326,7 @@ class TestBaseline:
 # One violation per rule, laid out for a CLI run. The file must live
 # under an ``anchors/`` directory so R1 applies (order-sensitive).
 _ALL_RULES_FIXTURE = """\
+import multiprocessing
 import random
 import time
 
@@ -343,7 +380,7 @@ class TestCli:
         assert result.returncode == 1, result.stdout + result.stderr
         document = json.loads(result.stdout)
         fired = {row["rule"] for row in document["diagnostics"]}
-        assert fired == {"R1", "R2", "R3", "R4", "R5", "R6", "R7"}
+        assert fired == {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"}
 
     def test_clean_tree_exits_zero(self, tmp_path):
         target = tmp_path / "anchors"

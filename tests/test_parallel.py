@@ -1,0 +1,322 @@
+"""Tests for repro.parallel: shared CSR, pool lifecycle, and the
+determinism contract of the parallel candidate scan.
+
+The load-bearing assertion in this file is result *identity*: for every
+worker count, ``greedy_anchored_coreness`` must return the same
+``GreedyResult`` — anchors, gains, follower sets, and Figure-13 counter
+totals — as the serial scan. Everything else (fallback gauges, crash
+recovery, shm lifecycle) protects the machinery that keeps that true.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import os
+
+import pytest
+
+# ``repro.anchors.__init__`` rebinds the name ``gac`` to the function, so
+# ``import repro.anchors.gac`` would resolve the attribute, not the module.
+gac_mod = importlib.import_module("repro.anchors.gac")
+import repro.parallel.worker as worker_mod
+from repro import obs
+from repro.anchors.gac import gac, gac_u, greedy_anchored_coreness
+from repro.datasets import registry
+from repro.graphs.csr import csr_view
+from repro.graphs.graph import Graph
+from repro.parallel import (
+    CandidateScanPool,
+    PoolUnavailable,
+    SharedCSR,
+    attach,
+    bucket_h_index,
+    chunked,
+    resolve_workers,
+)
+
+from conftest import small_random_graph
+
+_HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+@pytest.fixture
+def tiny_pools(monkeypatch):
+    """Let pools spawn on the small graphs these tests use."""
+    monkeypatch.setattr(gac_mod, "_MIN_PARALLEL_CANDIDATES", 1)
+
+
+def _result_tuple(result):
+    """Everything the determinism contract covers, as one comparable value."""
+    return (
+        result.anchors,
+        result.gains,
+        result.followers,
+        result.truncated,
+        [vars(t.counters) for t in result.traces],
+        [t.candidate_count for t in result.traces],
+    )
+
+
+# ----------------------------------------------------------------------
+# util helpers
+# ----------------------------------------------------------------------
+class TestUtil:
+    def test_resolve_workers_explicit(self):
+        assert resolve_workers(0) == 0
+        assert resolve_workers(3) == 3
+        assert resolve_workers(-2) == 0
+
+    @pytest.mark.parametrize(
+        ("raw", "expected"),
+        [("", 0), ("  ", 0), ("nope", 0), ("-1", 0), ("2", 2), (" 4 ", 4)],
+    )
+    def test_resolve_workers_env(self, monkeypatch, raw, expected):
+        monkeypatch.setenv("REPRO_PARALLEL", raw)
+        assert resolve_workers(None) == expected
+
+    def test_resolve_workers_env_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        assert resolve_workers(None) == 0
+
+    def test_chunked(self):
+        assert [list(c) for c in chunked([1, 2, 3, 4, 5], 2)] == [[1, 2], [3, 4], [5]]
+        assert list(chunked([], 3)) == []
+        with pytest.raises(ValueError):
+            list(chunked([1], 0))
+
+    def test_bucket_h_index_basics(self):
+        assert bucket_h_index([]) == 0
+        assert bucket_h_index([0, 0]) == 0
+        assert bucket_h_index([3, 3, 3]) == 3
+        assert bucket_h_index([5, 1, 1]) == 1
+        assert bucket_h_index([100]) == 1
+
+
+# ----------------------------------------------------------------------
+# shared-memory CSR export / attach
+# ----------------------------------------------------------------------
+class TestSharedCSR:
+    def test_round_trip(self):
+        graph = small_random_graph(3)
+        csr = csr_view(graph)
+        shared = SharedCSR.export(csr)
+        try:
+            attachment = attach(shared.handle)
+            try:
+                assert attachment.csr.num_vertices == csr.num_vertices
+                assert attachment.csr.num_edges == csr.num_edges
+                assert list(attachment.csr.labels) == list(csr.labels)
+                assert attachment.csr.as_lists() == csr.as_lists()
+            finally:
+                attachment.close()
+        finally:
+            shared.close()
+
+    def test_attached_graph_matches_original(self):
+        graph = small_random_graph(5)
+        shared = SharedCSR.export(csr_view(graph))
+        try:
+            attachment = attach(shared.handle)
+            try:
+                rebuilt = attachment.csr.to_graph()
+                assert rebuilt.num_vertices == graph.num_vertices
+                assert rebuilt.num_edges == graph.num_edges
+                for u in graph.vertices():
+                    assert rebuilt.neighbors(u) == graph.neighbors(u)
+                # the CSR view is pre-interned on the rebuilt graph
+                assert csr_view(rebuilt) is attachment.csr
+            finally:
+                attachment.close()
+        finally:
+            shared.close()
+
+    def test_non_identity_labels_travel(self):
+        graph = Graph.from_edges([(10, 20), (20, 30), (10, 30)])
+        shared = SharedCSR.export(csr_view(graph))
+        try:
+            assert shared.handle.labels is not None
+            attachment = attach(shared.handle)
+            try:
+                assert set(attachment.csr.labels) == {10, 20, 30}
+            finally:
+                attachment.close()
+        finally:
+            shared.close()
+
+    def test_close_is_idempotent_and_unlinks(self):
+        shared = SharedCSR.export(csr_view(small_random_graph(1)))
+        handle = shared.handle
+        assert not shared.closed
+        shared.close()
+        assert shared.closed
+        shared.close()  # idempotent
+        with pytest.raises(FileNotFoundError):
+            attach(handle)
+
+    def test_itemsize_mismatch_rejected(self):
+        shared = SharedCSR.export(csr_view(small_random_graph(1)))
+        try:
+            from dataclasses import replace
+
+            bad = replace(shared.handle, itemsize=shared.handle.itemsize * 2)
+            with pytest.raises(ValueError, match="byte ints"):
+                attach(bad)
+        finally:
+            shared.close()
+
+
+# ----------------------------------------------------------------------
+# pool construction and fallbacks
+# ----------------------------------------------------------------------
+class TestPoolConstruction:
+    def test_rejects_single_worker(self):
+        with pytest.raises(PoolUnavailable):
+            CandidateScanPool(small_random_graph(0), 1)
+
+    def test_rejects_graph_without_csr_view(self):
+        # complex labels are mutually unorderable -> no CSR interning
+        graph = Graph.from_edges([(1j, 2j), (2j, 3j), (1j, 3j)])
+        with pytest.raises(PoolUnavailable, match="CSR"):
+            CandidateScanPool(graph, 2)
+
+    def test_rejects_when_csr_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CSR", "0")
+        with pytest.raises(PoolUnavailable):
+            CandidateScanPool(small_random_graph(0), 2)
+
+    def test_small_graph_falls_back_with_gauge(self):
+        graph = small_random_graph(2)  # 40 vertices < _MIN_PARALLEL_CANDIDATES
+        serial = gac(graph, 2, tie_break="id")
+        parallel = gac(graph, 2, tie_break="id", workers=2)
+        assert _result_tuple(serial) == _result_tuple(parallel)
+        fallback = obs.gauges_snapshot().get("gac.parallel_fallback.small_graph")
+        assert fallback == 1.0  # lint: float-eq-ok gauge stores the exact literal 1.0
+
+    def test_single_worker_falls_back_with_gauge(self, tiny_pools):
+        graph = small_random_graph(2)
+        serial = gac(graph, 2, tie_break="id")
+        one = gac(graph, 2, tie_break="id", workers=1)
+        assert _result_tuple(serial) == _result_tuple(one)
+        fallback = obs.gauges_snapshot().get("gac.parallel_fallback.single_worker")
+        assert fallback == 1.0  # lint: float-eq-ok gauge stores the exact literal 1.0
+
+    def test_verify_falls_back_with_gauge(self, tiny_pools):
+        graph = small_random_graph(2)
+        serial = gac(graph, 2, tie_break="id")
+        verified = gac(graph, 2, tie_break="id", workers=2, verify=True)
+        assert _result_tuple(serial) == _result_tuple(verified)
+        fallback = obs.gauges_snapshot().get("gac.parallel_fallback.verify")
+        assert fallback == 1.0  # lint: float-eq-ok gauge stores the exact literal 1.0
+
+
+# ----------------------------------------------------------------------
+# the determinism contract
+# ----------------------------------------------------------------------
+class TestScanDeterminism:
+    _references: dict[str, tuple] = {}
+
+    @pytest.mark.parametrize("workers", [0, 1, 2, 4])
+    @pytest.mark.parametrize("dataset", ["arxiv", "brightkite"])
+    def test_seed_datasets_identical(self, dataset, workers):
+        graph = registry.load(dataset)
+        if dataset not in self._references:
+            self._references[dataset] = _result_tuple(
+                greedy_anchored_coreness(graph, 3, workers=0)
+            )
+        run = greedy_anchored_coreness(graph, 3, workers=workers)
+        assert _result_tuple(run) == self._references[dataset]
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    @pytest.mark.parametrize("seed", [0, 1, 4])
+    def test_random_graphs_identical(self, tiny_pools, seed, workers):
+        graph = small_random_graph(seed, n=60, m=160)
+        serial = gac(graph, 4, tie_break="id")
+        parallel = gac(graph, 4, tie_break="id", workers=workers)
+        assert _result_tuple(serial) == _result_tuple(parallel)
+
+    def test_unpruned_variant_identical(self, tiny_pools):
+        graph = small_random_graph(2, n=60, m=160)
+        serial = gac_u(graph, 3, tie_break="id")
+        parallel = gac_u(graph, 3, tie_break="id", workers=2)
+        assert _result_tuple(serial) == _result_tuple(parallel)
+
+    def test_random_tie_break_consumes_rng_identically(self, tiny_pools):
+        graph = small_random_graph(0, n=60, m=160)
+        serial = gac(graph, 3, tie_break="random", seed=99)
+        parallel = gac(graph, 3, tie_break="random", seed=99, workers=2)
+        assert _result_tuple(serial) == _result_tuple(parallel)
+
+    def test_env_knob_engages_pool(self, tiny_pools, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "2")
+        graph = small_random_graph(1, n=60, m=160)
+        before = obs.get(obs.PARALLEL_TASKS)
+        from_env = gac(graph, 2, tie_break="id")
+        assert obs.get(obs.PARALLEL_TASKS) > before
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        serial = gac(graph, 2, tie_break="id")
+        assert _result_tuple(from_env) == _result_tuple(serial)
+
+    def test_parallel_counters_outside_fig13(self, tiny_pools):
+        """parallel.* counters must never leak into FollowerCounters."""
+        graph = small_random_graph(1, n=60, m=160)
+        run = gac(graph, 2, tie_break="id", workers=2)
+        total = run.total_counters()
+        assert set(vars(total)) == {
+            "explored_nodes",
+            "reused_nodes",
+            "visited_vertices",
+            "pruned_candidates",
+            "evaluated_candidates",
+        }
+
+
+# ----------------------------------------------------------------------
+# crash recovery: the pool must degrade, never corrupt
+# ----------------------------------------------------------------------
+def _soft_crash_evaluate(task):
+    """Evaluate normally in round 0, blow up from round 1 on."""
+    if task[0] >= 1:
+        raise RuntimeError("synthetic worker failure")
+    return worker_mod.evaluate(task)
+
+
+def _hard_crash_evaluate(task):
+    """Kill the worker process outright (BrokenProcessPool in the parent)."""
+    os._exit(1)
+
+
+@pytest.mark.skipif(not _HAS_FORK, reason="crash injection needs fork workers")
+class TestCrashFallback:
+    @pytest.fixture(autouse=True)
+    def _fork_start(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_START", "fork")
+        monkeypatch.setattr(gac_mod, "_MIN_PARALLEL_CANDIDATES", 1)
+
+    @pytest.mark.parametrize(
+        "crash", [_soft_crash_evaluate, _hard_crash_evaluate], ids=["soft", "hard"]
+    )
+    def test_worker_crash_mid_run_falls_back_to_serial(self, monkeypatch, crash):
+        graph = small_random_graph(1, n=60, m=160)
+        serial = gac(graph, 3, tie_break="id")
+        monkeypatch.setattr(worker_mod, "evaluate", crash)
+        crashed = gac(graph, 3, tie_break="id", workers=2)
+        assert _result_tuple(crashed) == _result_tuple(serial)
+        fallback = obs.gauges_snapshot().get("gac.parallel_fallback.scan_error")
+        assert fallback == 1.0  # lint: float-eq-ok gauge stores the exact literal 1.0
+
+
+# ----------------------------------------------------------------------
+# CLI knob
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_anchor_workers_flag_matches_serial(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setattr(gac_mod, "_MIN_PARALLEL_CANDIDATES", 1)
+        assert main(["anchor", "--dataset", "arxiv", "-b", "2", "--workers", "0"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["anchor", "--dataset", "arxiv", "-b", "2", "--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+        assert "anchors" in serial_out
