@@ -35,6 +35,7 @@ import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Literal
 
+from repro import checkpoint as _checkpoint
 from repro import obs as _obs
 from repro.anchors.bounds import UpperBounds, compute_upper_bounds, refined_total
 from repro.anchors.followers import (
@@ -48,12 +49,15 @@ from repro.anchors.reuse import FollowerCache
 from repro.anchors.state import AnchoredState
 from repro.core.decomposition import _sort_key
 from repro.core.tree import NodeId
-from repro.errors import BudgetError
+from repro.errors import BudgetError, CheckpointError
+from repro.faults import arming as _fault_arming  # lint: fault-ok greedy arms per-run plans
+from repro.faults import fault_point as _fault_point  # lint: fault-ok hosts gac.round_commit
 from repro.graphs.graph import Graph, Vertex
 from repro.verify import enabled as _verify_enabled
 from repro.verify import verification as _verification
 
 if TYPE_CHECKING:
+    from repro.faults import FaultPlan  # lint: fault-ok annotation-only import
     from repro.parallel.pool import CandidateScanPool
 
 TieBreak = Literal["ub", "degree", "random", "id"]
@@ -146,6 +150,10 @@ def greedy_anchored_coreness(
     verify: bool | None = None,
     obs: bool | None = None,
     workers: int | None = None,
+    faults: "FaultPlan | str | None" = None,
+    checkpoint: "str | os.PathLike[str] | None" = None,
+    checkpoint_every: int = 1,
+    resume: "str | os.PathLike[str] | None" = None,
 ) -> GreedyResult:
     """Run the greedy heuristic for the anchored coreness problem.
 
@@ -181,10 +189,27 @@ def greedy_anchored_coreness(
             The pool falls back to the serial scan when it cannot help
             (tiny graphs, verification on, no CSR view, spawn failure),
             recording a ``gac.parallel_fallback.*`` gauge.
+        faults: a :class:`repro.faults.FaultPlan` (or spec string) armed
+            for this run only; ``None`` defers to ``REPRO_FAULTS``.
+        checkpoint: write a round-granular snapshot to this path (see
+            :mod:`repro.checkpoint`) after each committed round. A
+            failed write never kills the run — it is gauged as
+            ``gac.checkpoint.write_error`` and the run continues.
+        checkpoint_every: write the snapshot every this-many rounds
+            (the final round is always written).
+        resume: continue from a snapshot previously written by
+            ``checkpoint``. The resumed run is byte-identical — anchors,
+            gains, RNG stream, Figure-13 counters — to the uninterrupted
+            run with the same parameters; a snapshot from a different
+            graph, algorithm, or parameter set aborts with
+            :class:`~repro.errors.CheckpointError`. ``budget`` may
+            exceed the snapshot's (the run extends it).
 
     Raises:
         BudgetError: if ``budget`` is negative or exceeds the number of
             non-anchor vertices.
+        CheckpointError: if ``resume`` names a missing, corrupt, or
+            mismatched snapshot.
     """
     initial = frozenset(initial_anchors)
     if budget < 0:
@@ -194,12 +219,19 @@ def greedy_anchored_coreness(
             f"budget {budget} exceeds the {graph.num_vertices - len(initial)} "
             "anchorable vertices"
         )
+    if checkpoint_every < 1:
+        raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
     if follower_method == "naive":
         reuse = False
         use_upper_bounds = False
     rng = random.Random(seed)
     start = _clock()
-    with _verification(verify), _obs.tracing(obs), _obs.span("gac.run", budget=budget):
+    with (
+        _fault_arming(faults),
+        _verification(verify),
+        _obs.tracing(obs),
+        _obs.span("gac.run", budget=budget),
+    ):
         return _run_greedy(
             graph,
             budget,
@@ -209,9 +241,13 @@ def greedy_anchored_coreness(
             follower_method=follower_method,
             tie_break=tie_break,
             rng=rng,
+            seed=seed,
             time_limit=time_limit,
             start=start,
             workers=workers,
+            checkpoint_path=checkpoint,
+            checkpoint_every=checkpoint_every,
+            resume_path=resume,
         )
 
 
@@ -225,29 +261,81 @@ def _run_greedy(
     follower_method: FollowerMethod,
     tie_break: TieBreak,
     rng: random.Random,
+    seed: int | None,
     time_limit: float | None,
     start: float,
     workers: int | None,
+    checkpoint_path: "str | os.PathLike[str] | None" = None,
+    checkpoint_every: int = 1,
+    resume_path: "str | os.PathLike[str] | None" = None,
 ) -> GreedyResult:
     """The greedy loop proper (runs inside the verification context)."""
 
     deadline = None if time_limit is None else start + time_limit
-    state = AnchoredState.build(graph, initial)
-    # Baseline corenesses: marginal gains are |F(x)| minus the gain x
-    # itself accumulated as an earlier anchor's follower — that term
-    # leaves the objective when x is anchored (Definition 2.4 excludes
-    # anchors), so counting raw |F(x)| would overstate g(A, G).
-    base_coreness = dict(state.decomposition.coreness)
     cache = FollowerCache()
     result = GreedyResult()
+    fingerprint = ""
+    params: dict[str, object] = {}
+    if checkpoint_path is not None or resume_path is not None:
+        fingerprint = _checkpoint.graph_fingerprint(graph)
+        # budget and workers are deliberately absent: a resume may extend
+        # the budget, and worker count is a wall-clock knob, never a
+        # results knob. seed is kept — it documents the rng_state's origin
+        # and lets the resume-replay invariant rerun the prefix.
+        params = {
+            "use_upper_bounds": use_upper_bounds,
+            "reuse": reuse,
+            "follower_method": follower_method,
+            "tie_break": tie_break,
+            "seed": seed,
+            "initial": sorted(initial, key=_sort_key),
+        }
+    if resume_path is not None:
+        base_coreness = _resume(
+            graph,
+            budget,
+            resume_path,
+            fingerprint=fingerprint,
+            params=params,
+            result=result,
+            rng=rng,
+            cache=cache,
+        )
+        # Rebuilding from scratch with the checkpointed anchors equals
+        # the incremental state the killed run held: every derived
+        # structure (decomposition, tree node ids, adjacency) is
+        # deterministic given graph + anchor set — the same contract the
+        # parallel workers rely on each epoch.
+        state = AnchoredState.build(graph, initial | frozenset(result.anchors))
+        if _verify_enabled():
+            from repro.verify.invariants import verify_resume_replay
+
+            verify_resume_replay(
+                graph,
+                initial,
+                result.anchors,
+                result.gains,
+                use_upper_bounds=use_upper_bounds,
+                reuse=reuse,
+                follower_method=follower_method,
+                tie_break=tie_break,
+                seed=seed,
+            )
+    else:
+        state = AnchoredState.build(graph, initial)
+        # Baseline corenesses: marginal gains are |F(x)| minus the gain x
+        # itself accumulated as an earlier anchor's follower — that term
+        # leaves the objective when x is anchored (Definition 2.4 excludes
+        # anchors), so counting raw |F(x)| would overstate g(A, G).
+        base_coreness = dict(state.decomposition.coreness)
     pool: "CandidateScanPool | None" = None
-    if budget > 0:
+    if budget > len(result.anchors):
         pool = _make_pool(
             graph, workers, follower_method, graph.num_vertices - len(initial)
         )
 
     try:
-        for _ in range(budget):
+        while len(result.anchors) < budget:
             if deadline is not None and _clock() > deadline:
                 result.truncated = True
                 break
@@ -311,6 +399,23 @@ def _run_greedy(
                     cache.forget(best)
                 else:
                     cache.clear()
+                # The round is committed: state, cache, counters, and RNG
+                # all reflect it. Snapshot here — and only here — so a
+                # resume continues from a boundary, never mid-round.
+                if checkpoint_path is not None and (
+                    len(result.anchors) % checkpoint_every == 0
+                    or len(result.anchors) == budget
+                ):
+                    _write_checkpoint(
+                        checkpoint_path,
+                        fingerprint=fingerprint,
+                        params=params,
+                        result=result,
+                        rng=rng,
+                        cache=cache,
+                        base_coreness=base_coreness,
+                    )
+                _fault_point("gac.round_commit")
     finally:
         if pool is not None:
             pool.close()
@@ -319,6 +424,102 @@ def _run_greedy(
 
         verify_greedy_total(graph, initial, result.anchors, result.total_gain)
     return result
+
+
+def _resume(
+    graph: Graph,
+    budget: int,
+    resume_path: "str | os.PathLike[str]",
+    *,
+    fingerprint: str,
+    params: dict[str, object],
+    result: GreedyResult,
+    rng: random.Random,
+    cache: FollowerCache,
+) -> dict[Vertex, int]:
+    """Rehydrate a round-boundary snapshot into the run's mutable state.
+
+    Returns the baseline corenesses the killed run measured gains
+    against. Everything that shapes the remaining rounds — selections so
+    far, the RNG stream position, the Algorithm-3 cache — is restored
+    exactly, so the continuation replays the uninterrupted trajectory.
+    """
+    snapshot = _checkpoint.load(resume_path)
+    _checkpoint.validate(
+        snapshot, algo="gac", fingerprint=fingerprint, params=params
+    )
+    payload = snapshot.payload
+    try:
+        anchors = list(payload["anchors"])
+        if len(anchors) > budget:
+            raise CheckpointError(
+                f"checkpoint already holds {len(anchors)} anchors, more than "
+                f"the budget {budget} of the resuming run"
+            )
+        result.anchors = anchors
+        result.gains = list(payload["gains"])
+        result.followers = dict(payload["followers"])
+        result.traces = [
+            IterationTrace(
+                anchor=trace["anchor"],
+                gain=trace["gain"],
+                elapsed_seconds=trace["elapsed_seconds"],
+                counters=FollowerCounters(**trace["counters"]),
+                candidate_count=trace["candidate_count"],
+            )
+            for trace in payload["traces"]
+        ]
+        rng.setstate(payload["rng_state"])
+        cache.entries = {
+            u: dict(counts) for u, counts in payload["cache_entries"].items()
+        }
+        return dict(payload["base_coreness"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint payload is incomplete or malformed: {exc!r}"
+        ) from exc
+
+
+def _write_checkpoint(
+    path: "str | os.PathLike[str]",
+    *,
+    fingerprint: str,
+    params: dict[str, object],
+    result: GreedyResult,
+    rng: random.Random,
+    cache: FollowerCache,
+    base_coreness: dict[Vertex, int],
+) -> None:
+    """Snapshot the committed round; a failed write is gauged, never fatal."""
+    payload: dict[str, object] = {
+        "anchors": list(result.anchors),
+        "gains": list(result.gains),
+        "followers": dict(result.followers),
+        "traces": [
+            {
+                "anchor": trace.anchor,
+                "gain": trace.gain,
+                "elapsed_seconds": trace.elapsed_seconds,
+                "counters": dict(vars(trace.counters)),
+                "candidate_count": trace.candidate_count,
+            }
+            for trace in result.traces
+        ],
+        "rng_state": rng.getstate(),
+        "cache_entries": {u: dict(counts) for u, counts in cache.entries.items()},
+        "base_coreness": dict(base_coreness),
+    }
+    try:
+        _checkpoint.save(
+            path,
+            _checkpoint.Checkpoint(
+                algo="gac", fingerprint=fingerprint, params=params, payload=payload
+            ),
+        )
+    except Exception:
+        # The checkpoint exists to protect the run; a failed write must
+        # not be the thing that kills it. Gauged for diagnosability.
+        _obs.gauge("gac.checkpoint.write_error", 1.0)
 
 
 def _select_best(

@@ -1,0 +1,207 @@
+"""Round-granular checkpoint files for the long-running greedy loops.
+
+A checkpoint is a pickled, versioned envelope written atomically
+(temp file + ``os.replace``) at a greedy round boundary, holding
+everything the round loop needs to continue — for GAC: anchors, gains,
+follower sets, per-iteration traces, the RNG state, the Algorithm-3
+reuse-cache entries, and the baseline corenesses; for OLAK: anchors,
+follower sets, and the k-core growth. Resuming a run killed at any
+round boundary is byte-identical (anchors, gains, RNG stream,
+Figure-13 counters) to the uninterrupted run; see
+``docs/fault-injection.md`` for the format and the resume semantics.
+
+Safety model: a resume must never silently continue from the wrong
+snapshot. The envelope carries a magic string, a format version, the
+algorithm name, a SHA-256 fingerprint of the graph's adjacency, and
+the algorithm parameters; :func:`validate` raises
+:class:`~repro.errors.CheckpointError` on any mismatch. Conversely a
+*failed write* must never kill the run it exists to protect — the
+greedy loops catch and gauge write errors (``<algo>.checkpoint.write_error``)
+and continue un-checkpointed.
+
+This module hosts the ``checkpoint.write`` / ``checkpoint.load`` fault
+sites (:mod:`repro.faults`), which the fault matrix uses to exercise
+both halves of that safety model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro import obs as _obs
+from repro.core.decomposition import _sort_key
+from repro.errors import CheckpointError
+from repro.faults import fault_point as _fault_point
+from repro.graphs.graph import Graph
+
+#: File-format identity: bump VERSION on any payload schema change so a
+#: stale file aborts the resume instead of rehydrating garbage.
+MAGIC = "repro-checkpoint"
+VERSION = 1
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One snapshot: identity fields plus the algorithm's payload.
+
+    Attributes:
+        algo: ``"gac"`` or ``"olak"`` — a file from one greedy never
+            resumes the other.
+        fingerprint: :func:`graph_fingerprint` of the run's graph.
+        params: the algorithm parameters that shape the greedy
+            trajectory (budget excluded — a resume may extend it).
+        payload: the algorithm-specific round state.
+    """
+
+    algo: str
+    fingerprint: str
+    params: dict[str, Any]
+    payload: dict[str, Any]
+
+    @property
+    def rounds(self) -> int:
+        """How many greedy rounds the snapshot has completed."""
+        anchors = self.payload.get("anchors", [])
+        return len(anchors)
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """SHA-256 over the sorted adjacency — one id per graph structure.
+
+    Deterministic across processes and runs (sorted vertices, sorted
+    neighbor lists, ``repr`` labels), so a checkpoint taken on one host
+    validates on another as long as the graph is truly the same.
+    """
+    digest = hashlib.sha256()
+    for u in sorted(graph.vertices(), key=_sort_key):
+        digest.update(repr(u).encode())
+        for v in sorted(graph.neighbors(u), key=_sort_key):
+            digest.update(b"|")
+            digest.update(repr(v).encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def save(path: "str | os.PathLike[str]", checkpoint: Checkpoint) -> None:
+    """Write ``checkpoint`` atomically (temp file + ``os.replace``).
+
+    A reader (or a resume after a kill) either sees the previous
+    complete file or the new complete file, never a torn write. Counts
+    ``checkpoint.writes`` in the obs registry. Hosts the
+    ``checkpoint.write`` fault site.
+    """
+    _fault_point("checkpoint.write")
+    target = Path(path)
+    envelope = {
+        "magic": MAGIC,
+        "version": VERSION,
+        "algo": checkpoint.algo,
+        "fingerprint": checkpoint.fingerprint,
+        "params": checkpoint.params,
+        "payload": checkpoint.payload,
+    }
+    data = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=target.name + ".", suffix=".tmp", dir=target.parent or Path(".")
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    _obs.add(_obs.CHECKPOINT_WRITES)
+
+
+def load(path: "str | os.PathLike[str]") -> Checkpoint:
+    """Read a checkpoint file, raising :class:`CheckpointError` on damage.
+
+    Counts ``checkpoint.resumes`` in the obs registry. Hosts the
+    ``checkpoint.load`` fault site (an injected fault propagates — a
+    resume that cannot read its snapshot must abort, not run fresh).
+    """
+    _fault_point("checkpoint.load")
+    target = Path(path)
+    try:
+        raw = target.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {target}: {exc}") from exc
+    try:
+        envelope = pickle.loads(raw)
+    except Exception as exc:
+        raise CheckpointError(f"corrupt checkpoint {target}: {exc}") from exc
+    if not isinstance(envelope, dict) or envelope.get("magic") != MAGIC:
+        raise CheckpointError(f"{target} is not a {MAGIC} file")
+    version = envelope.get("version")
+    if version != VERSION:
+        raise CheckpointError(
+            f"checkpoint {target} has format version {version!r}, "
+            f"this build reads version {VERSION}"
+        )
+    checkpoint = Checkpoint(
+        algo=str(envelope.get("algo", "")),
+        fingerprint=str(envelope.get("fingerprint", "")),
+        params=dict(envelope.get("params", {})),
+        payload=dict(envelope.get("payload", {})),
+    )
+    _obs.add(_obs.CHECKPOINT_RESUMES)
+    return checkpoint
+
+
+def validate(
+    checkpoint: Checkpoint,
+    *,
+    algo: str,
+    fingerprint: str,
+    params: dict[str, Any],
+) -> None:
+    """Abort the resume unless the snapshot matches the run exactly.
+
+    ``params`` must be equal key-for-key: a checkpoint taken under
+    different pruning/reuse/tie-break settings (or a different graph —
+    the fingerprint) would diverge from the uninterrupted trajectory
+    the resume promises to reproduce.
+    """
+    if checkpoint.algo != algo:
+        raise CheckpointError(
+            f"checkpoint is for algorithm {checkpoint.algo!r}, not {algo!r}"
+        )
+    if checkpoint.fingerprint != fingerprint:
+        raise CheckpointError(
+            "checkpoint was taken on a different graph "
+            f"(fingerprint {checkpoint.fingerprint[:12]}... != {fingerprint[:12]}...)"
+        )
+    if checkpoint.params != params:
+        differing = sorted(
+            key
+            for key in set(checkpoint.params) | set(params)
+            if checkpoint.params.get(key) != params.get(key)
+        )
+        raise CheckpointError(
+            "checkpoint parameters do not match the resuming run: "
+            + ", ".join(
+                f"{key}={checkpoint.params.get(key)!r} (run: {params.get(key)!r})"
+                for key in differing
+            )
+        )
+
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "Checkpoint",
+    "graph_fingerprint",
+    "load",
+    "save",
+    "validate",
+]

@@ -6,7 +6,14 @@ Commands:
 * ``decompose``  — coreness (and optional shell-layer) listing;
 * ``anchor``     — run GAC / a heuristic / OLAK and print the anchors;
 * ``cascade``    — simulate a departure cascade with optional anchors;
-* ``datasets``   — list the built-in replica datasets.
+* ``datasets``   — list the built-in replica datasets;
+* ``faults``     — print the registered fault-injection site catalog.
+
+Long GAC/OLAK runs survive kills: ``anchor --checkpoint PATH`` writes a
+round-granular snapshot (``--checkpoint-every N`` thins it) and
+``anchor --resume PATH`` continues byte-identically from the last round
+boundary. ``--faults SPEC`` arms the deterministic fault-injection
+layer (see ``docs/fault-injection.md``).
 
 Graphs come from either ``--dataset <name>`` (a built-in replica) or
 ``--edges <path>`` (a SNAP-style edge list). ``decompose`` and
@@ -20,6 +27,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import faults as _faults  # lint: fault-ok CLI arms/lists the catalog
 from repro import obs
 from repro.analysis.stats import graph_stats
 from repro.anchors.gac import gac
@@ -101,16 +109,27 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
 def _cmd_anchor(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     window = obs.window()
+    persistence = {
+        "faults": args.faults,
+        "checkpoint": args.checkpoint,
+        "checkpoint_every": args.checkpoint_every,
+        "resume": args.resume,
+    }
     with obs.tracing(True if args.profile else None):
         if args.method == "gac":
-            result = gac(graph, args.budget, workers=args.workers)
+            result = gac(graph, args.budget, workers=args.workers, **persistence)
             anchors, gain = result.anchors, result.total_gain
         elif args.method == "olak":
             if args.k is None:
                 raise SystemExit("error: --k is required for olak")
-            olak_result = olak(graph, args.k, args.budget)
+            olak_result = olak(graph, args.k, args.budget, **persistence)
             anchors, gain = olak_result.anchors, olak_result.coreness_gain
         else:
+            if args.checkpoint or args.resume or args.faults:
+                raise SystemExit(
+                    "error: --checkpoint/--resume/--faults apply to gac and "
+                    "olak only"
+                )
             fn = HEURISTICS[args.method]
             kwargs = {"seed": args.seed} if args.method == "Rand" else {}
             anchors = fn(graph, args.budget, **kwargs)
@@ -138,6 +157,17 @@ def _cmd_datasets(_: argparse.Namespace) -> int:
     for name in registry.names():
         ds = registry.spec(name)
         print(f"{name:12s} {ds.display:12s} n={ds.n}")
+    return 0
+
+
+def _cmd_faults(_: argparse.Namespace) -> int:
+    """The discoverable fault-site catalog (``python -m repro faults``)."""
+    width = max(len(site.name) for site in _faults.catalog())
+    for site in _faults.catalog():
+        scope = "parallel" if site.parallel else "always"
+        print(f"{site.name:<{width}s}  [{scope:8s}]  {site.description}")
+    print()
+    print("arm with REPRO_FAULTS or --faults: site=raise[@N] | delay:S | p:P[:SEED]")
     return 0
 
 
@@ -177,6 +207,32 @@ def build_parser() -> argparse.ArgumentParser:
         "REPRO_PARALLEL, else serial). Results are identical for every "
         "value — this knob trades processes for wall-clock only.",
     )
+    p_anchor.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="write a round-granular snapshot here after each committed "
+        "round (gac/olak); kill-and-resume from it is byte-identical",
+    )
+    p_anchor.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --checkpoint, snapshot every N rounds (default: 1; the "
+        "final round is always written)",
+    )
+    p_anchor.add_argument(
+        "--resume",
+        metavar="PATH",
+        help="continue from a snapshot written by --checkpoint (the graph "
+        "and algorithm parameters must match)",
+    )
+    p_anchor.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="arm the fault-injection layer for this run, e.g. "
+        "'gac.round_commit=raise@3' (see 'python -m repro faults')",
+    )
     _add_profile_knobs(p_anchor)
     p_anchor.set_defaults(func=_cmd_anchor)
 
@@ -189,6 +245,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_ds = sub.add_parser("datasets", help="list built-in replica datasets")
     p_ds.set_defaults(func=_cmd_datasets)
+
+    p_faults = sub.add_parser(
+        "faults", help="list the registered fault-injection sites"
+    )
+    p_faults.set_defaults(func=_cmd_faults)
     return parser
 
 

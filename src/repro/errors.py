@@ -66,3 +66,13 @@ class BudgetError(ReproError, ValueError):
 
 class ParseError(ReproError, ValueError):
     """Raised when an edge-list file cannot be parsed."""
+
+
+class CheckpointError(ReproError):
+    """Raised when a checkpoint file cannot be read, or does not match the run.
+
+    A resume must never silently continue from the wrong snapshot: a
+    missing/corrupt file, a version mismatch, a different algorithm, a
+    different graph (fingerprint), or different algorithm parameters all
+    abort with this error instead of producing a subtly divergent run.
+    """

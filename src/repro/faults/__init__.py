@@ -1,0 +1,51 @@
+"""repro.faults — deterministic fault injection for robustness testing.
+
+A stdlib-only layer that can raise or delay at named *sites* in the
+production code (worker task pickup, shm attach, follower evaluation,
+checkpoint writes, round commits — see :func:`catalog`). Armed via the
+``REPRO_FAULTS`` env var or a ``faults=`` kwarg on the greedy entry
+points; disarmed it costs one ``None`` check and one env lookup per
+site visit. Every armed visit and injection is counted in the obs
+registry (``faults.visited.<site>`` / ``faults.injected.<site>``).
+
+Lint rule R9 keeps ``repro.faults`` imports contained: production
+modules host :func:`fault_point` calls only at the registered sites,
+each import line carrying an explicit ``# lint: fault-ok`` waiver.
+
+See ``docs/fault-injection.md`` for the site catalog, the spec grammar,
+and how the fault matrix in ``tests/test_faults.py`` enforces coverage.
+"""
+
+from repro.faults.runtime import (
+    ENV_FAULTS,
+    INJECTED_PREFIX,
+    VISITED_PREFIX,
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+    FaultSite,
+    FaultSpecError,
+    arming,
+    catalog,
+    fault_point,
+    lookup,
+    reset,
+    site_names,
+)
+
+__all__ = [
+    "ENV_FAULTS",
+    "INJECTED_PREFIX",
+    "VISITED_PREFIX",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSite",
+    "FaultSpecError",
+    "arming",
+    "catalog",
+    "fault_point",
+    "lookup",
+    "reset",
+    "site_names",
+]

@@ -1,0 +1,259 @@
+"""Deterministic, seedable fault injection (stdlib-only).
+
+Production code calls :func:`fault_point` at the registered sites
+(:mod:`repro.faults.sites`). Disabled — no kwarg-armed plan and no
+``REPRO_FAULTS`` — a fault point is one module-global ``None`` check
+plus one env lookup, cheap enough for code that runs once per round or
+per task (no site sits inside the per-candidate inner loop).
+
+Arming, two ways:
+
+* ``faults=`` kwarg on the greedy entry points — a spec string or a
+  :class:`FaultPlan`, installed for that run via :func:`arming`. A
+  fresh plan means fresh hit counters: per-run deterministic.
+* the ``REPRO_FAULTS`` environment variable — parsed once per spec
+  string and cached, so hit counters accumulate across runs in the
+  same process (and are inherited by pool workers, which re-read the
+  env after fork/spawn). Use :func:`reset` between runs that need
+  independent counting.
+
+Spec grammar (comma-separated ``site=action`` clauses)::
+
+    REPRO_FAULTS="worker.task_start=raise,gac.round_commit=raise@3"
+    REPRO_FAULTS="worker.follower_eval=delay:0.005,parallel.dispatch=p:0.25:7"
+
+Actions:
+
+* ``raise`` / ``raise@N`` — raise :class:`FaultInjected` on every hit /
+  on exactly the Nth hit (1-based) of the site;
+* ``delay:S`` — sleep ``S`` seconds at every hit (timeout simulation);
+* ``p:P`` / ``p:P:SEED`` — raise with probability ``P`` per hit, drawn
+  from a dedicated ``random.Random(SEED)`` (default seed 0) so the hit
+  sequence is reproducible and never touches algorithm RNG streams.
+
+Unknown sites or malformed actions raise :class:`FaultSpecError` at
+parse time — a typo in a fault spec must never silently disarm a test.
+Every visit to an armed site counts ``faults.visited.<site>`` in the
+obs registry, and every injection counts ``faults.injected.<site>``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro import obs as _obs
+from repro.errors import ReproError
+from repro.faults.sites import FaultSite, catalog, lookup, site_names
+
+ENV_FAULTS = "REPRO_FAULTS"
+
+#: Obs counter name prefixes (``faults.visited.<site>``, ``faults.injected.<site>``).
+VISITED_PREFIX = "faults.visited."
+INJECTED_PREFIX = "faults.injected."
+
+
+class FaultInjected(ReproError, RuntimeError):
+    """Raised by an armed ``raise`` / ``p`` rule at its fault site."""
+
+    def __init__(self, site: str, hit: int) -> None:
+        super().__init__(f"injected fault at {site!r} (hit {hit})")
+        self.site = site
+        self.hit = hit
+
+    def __reduce__(self) -> tuple[type, tuple[str, int]]:
+        # Default exception pickling would replay __init__ with the
+        # formatted message as ``site``; workers ship this exception
+        # across the process boundary, so rebuild from the real fields.
+        return (type(self), (self.site, self.hit))
+
+
+class FaultSpecError(ReproError, ValueError):
+    """Raised for malformed ``REPRO_FAULTS`` / ``faults=`` specs."""
+
+
+@dataclass
+class FaultRule:
+    """One armed action at one site (holds the site's hit counter)."""
+
+    site: str
+    action: str  # "raise" | "delay" | "p"
+    nth: int | None = None  # raise@N: fire on exactly the Nth hit
+    seconds: float = 0.0  # delay:S
+    probability: float = 0.0  # p:P
+    rng: random.Random | None = None  # p-rules draw from a dedicated stream
+    hits: int = 0
+
+    def visit(self) -> None:
+        """Count one arrival at the site and apply the armed action."""
+        self.hits += 1
+        _obs.add(VISITED_PREFIX + self.site)
+        if self.action == "delay":
+            _obs.add(INJECTED_PREFIX + self.site)
+            time.sleep(self.seconds)
+            return
+        if self.action == "raise":
+            if self.nth is not None and self.hits != self.nth:
+                return
+        elif self.action == "p":
+            assert self.rng is not None  # parse() always seeds one
+            if self.rng.random() >= self.probability:
+                return
+        _obs.add(INJECTED_PREFIX + self.site)
+        raise FaultInjected(self.site, self.hits)
+
+
+@dataclass
+class FaultPlan:
+    """A parsed set of rules, at most one per site."""
+
+    rules: dict[str, FaultRule] = field(default_factory=dict)
+    spec: str = ""
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a ``site=action[,site=action...]`` spec (strict)."""
+        plan = cls(spec=spec)
+        for clause in spec.split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            site, sep, action = clause.partition("=")
+            site = site.strip()
+            if not sep or not action.strip():
+                raise FaultSpecError(
+                    f"malformed fault clause {clause!r}: expected site=action"
+                )
+            if lookup(site) is None:
+                raise FaultSpecError(
+                    f"unknown fault site {site!r}; registered sites: "
+                    + ", ".join(site_names())
+                )
+            if site in plan.rules:
+                raise FaultSpecError(f"fault site {site!r} armed twice in {spec!r}")
+            plan.rules[site] = _parse_action(site, action.strip())
+        return plan
+
+    def visit(self, site: str) -> None:
+        rule = self.rules.get(site)
+        if rule is not None:
+            rule.visit()
+
+
+def _parse_action(site: str, action: str) -> FaultRule:
+    head, _, rest = action.partition(":")
+    if head == "raise" or head.startswith("raise@"):
+        if rest:
+            raise FaultSpecError(f"raise takes no ':' argument, got {action!r}")
+        nth: int | None = None
+        if head.startswith("raise@"):
+            try:
+                nth = int(head[len("raise@") :])
+            except ValueError as exc:
+                raise FaultSpecError(f"malformed raise@N in {action!r}") from exc
+            if nth < 1:
+                raise FaultSpecError(f"raise@N needs N >= 1, got {nth}")
+        return FaultRule(site=site, action="raise", nth=nth)
+    if head == "delay":
+        try:
+            seconds = float(rest)
+        except ValueError as exc:
+            raise FaultSpecError(f"malformed delay seconds in {action!r}") from exc
+        if seconds < 0:
+            raise FaultSpecError(f"delay needs seconds >= 0, got {seconds}")
+        return FaultRule(site=site, action="delay", seconds=seconds)
+    if head == "p":
+        parts = rest.split(":") if rest else []
+        if len(parts) not in (1, 2):
+            raise FaultSpecError(f"p takes p:P or p:P:SEED, got {action!r}")
+        try:
+            probability = float(parts[0])
+            seed = int(parts[1]) if len(parts) == 2 else 0
+        except ValueError as exc:
+            raise FaultSpecError(f"malformed p rule {action!r}") from exc
+        if not 0.0 <= probability <= 1.0:
+            raise FaultSpecError(f"p needs probability in [0, 1], got {probability}")
+        return FaultRule(
+            site=site, action="p", probability=probability, rng=random.Random(seed)
+        )
+    raise FaultSpecError(
+        f"unknown fault action {action!r} for site {site!r}; "
+        "expected raise[@N], delay:S, or p:P[:SEED]"
+    )
+
+
+# The kwarg-armed plan (per-run) and the env-plan cache (process-global:
+# hit counters survive across runs until the spec changes or reset()).
+_active: FaultPlan | None = None
+_env_spec: str | None = None
+_env_plan: FaultPlan | None = None
+
+
+def _plan_for_env(spec: str) -> FaultPlan:
+    global _env_spec, _env_plan
+    if spec != _env_spec or _env_plan is None:
+        _env_plan = FaultPlan.parse(spec)
+        _env_spec = spec
+    return _env_plan
+
+
+def fault_point(site: str) -> None:
+    """Apply any armed rule for ``site`` (near-free when nothing is armed)."""
+    if _active is not None:
+        _active.visit(site)
+        return
+    spec = os.environ.get(ENV_FAULTS)
+    if spec:
+        _plan_for_env(spec).visit(site)
+
+
+@contextmanager
+def arming(plan: "FaultPlan | str | None") -> Iterator[None]:
+    """Install ``plan`` (or parse a spec string) for the block.
+
+    ``None`` leaves the environment-driven behavior untouched, which
+    lets APIs thread a ``faults=`` kwarg straight through (mirroring
+    ``repro.verify.verification``). A kwarg-armed plan *replaces* the
+    env plan for the block — the two never stack.
+    """
+    global _active
+    if plan is None:
+        yield
+        return
+    if isinstance(plan, str):
+        plan = FaultPlan.parse(plan)
+    previous = _active
+    _active = plan
+    try:
+        yield
+    finally:
+        _active = previous
+
+
+def reset() -> None:
+    """Drop the cached env plan (fresh hit counters on the next visit)."""
+    global _env_spec, _env_plan
+    _env_spec = None
+    _env_plan = None
+
+
+__all__ = [
+    "ENV_FAULTS",
+    "INJECTED_PREFIX",
+    "VISITED_PREFIX",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSite",
+    "FaultSpecError",
+    "arming",
+    "catalog",
+    "fault_point",
+    "lookup",
+    "reset",
+    "site_names",
+]

@@ -1,0 +1,122 @@
+"""The fault-site catalog: every place the runtime can be made to fail.
+
+A :class:`FaultSite` is a *named* point in the production code where
+:func:`repro.faults.fault_point` is called. The catalog is the single
+source of truth for which sites exist; ``tests/test_faults.py``
+parametrizes over :func:`catalog` so a site added here without a test
+fails CI loudly, and ``python -m repro faults`` prints it for humans.
+
+Sites are grouped by the failure domain they exercise:
+
+* ``parallel`` sites live on the worker-pool path; injecting there must
+  leave the run's *result* unchanged — the greedy falls back to the
+  serial scan (``gac.parallel_fallback.scan_error``) or the pool close
+  is swallowed (``parallel.close_error``);
+* checkpoint sites exercise persistence: a failed write is survivable
+  (the run continues, gauged), a failed load is not (resume aborts);
+* ``round_commit`` sites sit at the greedy round boundary — arming them
+  with ``raise@N`` simulates a kill after round ``N``'s checkpoint, the
+  scenario the resume machinery exists for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """One registered injection point.
+
+    Attributes:
+        name: the site id used in ``REPRO_FAULTS`` specs (``<area>.<what>``).
+        description: what failing here simulates.
+        host: the module containing the ``fault_point`` call.
+        parallel: True when the site only fires on the worker-pool path
+            (needs ``workers >= 2`` and a healthy pool to be reachable).
+    """
+
+    name: str
+    description: str
+    host: str
+    parallel: bool = False
+
+
+_SITES: tuple[FaultSite, ...] = (
+    FaultSite(
+        name="worker.shm_attach",
+        description="worker fails to attach the shared-memory CSR export "
+        "(pool never becomes healthy; greedy stays serial)",
+        host="repro.parallel.worker",
+        parallel=True,
+    ),
+    FaultSite(
+        name="worker.task_start",
+        description="worker dies at task pickup (mid-scan crash; the round "
+        "falls back to the serial scan)",
+        host="repro.parallel.worker",
+        parallel=True,
+    ),
+    FaultSite(
+        name="worker.follower_eval",
+        description="follower computation fails inside a worker (corrupt "
+        "evaluation; the round falls back to the serial scan)",
+        host="repro.parallel.worker",
+        parallel=True,
+    ),
+    FaultSite(
+        name="parallel.dispatch",
+        description="parent-side dispatch of a task batch fails before "
+        "anything ships (the round falls back to the serial scan)",
+        host="repro.parallel.pool",
+        parallel=True,
+    ),
+    FaultSite(
+        name="shm.exporter_finalize",
+        description="releasing the shared-memory export fails at pool "
+        "shutdown (swallowed; gauged as parallel.close_error)",
+        host="repro.parallel.pool",
+        parallel=True,
+    ),
+    FaultSite(
+        name="checkpoint.write",
+        description="the round-boundary checkpoint cannot be written (the "
+        "run continues un-checkpointed; gauged per algorithm)",
+        host="repro.checkpoint",
+    ),
+    FaultSite(
+        name="checkpoint.load",
+        description="a resume file cannot be read (resume aborts with "
+        "CheckpointError; nothing runs)",
+        host="repro.checkpoint",
+    ),
+    FaultSite(
+        name="gac.round_commit",
+        description="the GAC process dies right after a round's checkpoint "
+        "write (arm with raise@N to simulate a kill after round N)",
+        host="repro.anchors.gac",
+    ),
+    FaultSite(
+        name="olak.round_commit",
+        description="the OLAK process dies right after a round's checkpoint "
+        "write (arm with raise@N to simulate a kill after round N)",
+        host="repro.olak.olak",
+    ),
+)
+
+_BY_NAME: dict[str, FaultSite] = {site.name: site for site in _SITES}
+
+
+def catalog() -> tuple[FaultSite, ...]:
+    """Every registered fault site, in a stable (registration) order."""
+    return _SITES
+
+
+def site_names() -> tuple[str, ...]:
+    """The registered site names, in catalog order."""
+    return tuple(site.name for site in _SITES)
+
+
+def lookup(name: str) -> FaultSite | None:
+    """The site registered under ``name``, or ``None``."""
+    return _BY_NAME.get(name)

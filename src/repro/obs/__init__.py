@@ -33,6 +33,8 @@ from repro.obs.export import (
 )
 from repro.obs.runtime import (
     BUCKET_POPS,
+    CHECKPOINT_RESUMES,
+    CHECKPOINT_WRITES,
     CSR_BUILDS,
     CSR_CACHE_HITS,
     EVALUATED_CANDIDATES,
@@ -68,6 +70,8 @@ from repro.obs.runtime import (
 
 __all__ = [
     "BUCKET_POPS",
+    "CHECKPOINT_RESUMES",
+    "CHECKPOINT_WRITES",
     "CSR_BUILDS",
     "CSR_CACHE_HITS",
     "EVALUATED_CANDIDATES",

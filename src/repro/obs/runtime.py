@@ -69,6 +69,10 @@ OLAK_ITERATIONS = "olak.iterations"
 PARALLEL_TASKS = "parallel.tasks"
 #: Dispatch batches (chunk barriers) executed by the parallel scan.
 PARALLEL_CHUNKS = "parallel.chunks"
+#: Round-boundary checkpoint files written (repro.checkpoint).
+CHECKPOINT_WRITES = "checkpoint.writes"
+#: Checkpoint files loaded to resume a greedy run.
+CHECKPOINT_RESUMES = "checkpoint.resumes"
 
 _counters: dict[str, int] = {}
 _gauges: dict[str, float] = {}

@@ -17,17 +17,25 @@ anchored-coreness objective.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+from repro import checkpoint as _checkpoint
 from repro import obs as _obs
 from repro.anchors.followers import find_followers
 from repro.anchors.incremental import apply_anchor
 from repro.anchors.state import AnchoredState
 from repro.core.decomposition import _sort_key, core_decomposition
-from repro.errors import BudgetError
+from repro.errors import BudgetError, CheckpointError
+from repro.faults import arming as _fault_arming  # lint: fault-ok greedy arms per-run plans
+from repro.faults import fault_point as _fault_point  # lint: fault-ok hosts olak.round_commit
 from repro.graphs.graph import Graph, Vertex
 from repro.verify import enabled as _verify_enabled
 from repro.verify import verification as _verification
+
+if TYPE_CHECKING:
+    from repro.faults import FaultPlan  # lint: fault-ok annotation-only import
 
 
 @dataclass
@@ -65,6 +73,10 @@ def olak(
     *,
     verify: bool | None = None,
     obs: bool | None = None,
+    faults: "FaultPlan | str | None" = None,
+    checkpoint: "str | os.PathLike[str] | None" = None,
+    checkpoint_every: int = 1,
+    resume: "str | os.PathLike[str] | None" = None,
 ) -> OlakResult:
     """Greedy anchored k-core: ``budget`` anchors maximizing k-core size.
 
@@ -77,31 +89,72 @@ def olak(
             (``False``) for this run; ``None`` defers to ``REPRO_VERIFY``.
         obs: force span tracing on (``True``) or off (``False``) for
             this run; ``None`` defers to ``REPRO_TRACE``.
+        faults: a :class:`repro.faults.FaultPlan` (or spec string) armed
+            for this run only; ``None`` defers to ``REPRO_FAULTS``.
+        checkpoint: write a round-granular snapshot to this path after
+            each committed round (failed writes are gauged as
+            ``olak.checkpoint.write_error``, never fatal).
+        checkpoint_every: write the snapshot every this-many rounds
+            (the final round is always written).
+        resume: continue from a snapshot previously written by
+            ``checkpoint``; identical to the uninterrupted run.
 
     Raises:
         BudgetError: when the budget is invalid for the graph.
+        CheckpointError: if ``resume`` names a missing, corrupt, or
+            mismatched snapshot.
     """
     del seed  # deterministic: ties break by smallest vertex id
     if budget < 0 or budget > graph.num_vertices:
         raise BudgetError(f"budget {budget} is invalid for n={graph.num_vertices}")
     if k < 1:
         raise ValueError(f"k must be positive, got {k}")
+    if checkpoint_every < 1:
+        raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
     with (
+        _fault_arming(faults),
         _verification(verify),
         _obs.tracing(obs),
         _obs.span("olak.run", k=k, budget=budget),
     ):
-        return _run_olak(graph, k, budget)
+        return _run_olak(
+            graph,
+            k,
+            budget,
+            checkpoint_path=checkpoint,
+            checkpoint_every=checkpoint_every,
+            resume_path=resume,
+        )
 
 
-def _run_olak(graph: Graph, k: int, budget: int) -> OlakResult:
+def _run_olak(
+    graph: Graph,
+    k: int,
+    budget: int,
+    *,
+    checkpoint_path: "str | os.PathLike[str] | None" = None,
+    checkpoint_every: int = 1,
+    resume_path: "str | os.PathLike[str] | None" = None,
+) -> OlakResult:
     """The OLAK greedy loop proper (runs inside the verification context)."""
     start = _obs.clock()
     result = OlakResult(k=k)
-    state = AnchoredState.build(graph)
-    base_coreness = dict(state.decomposition.coreness)
+    fingerprint = ""
+    params: dict[str, object] = {}
+    if checkpoint_path is not None or resume_path is not None:
+        fingerprint = _checkpoint.graph_fingerprint(graph)
+        params = {"k": k}
+    if resume_path is not None:
+        base_coreness = _resume_olak(
+            graph, budget, resume_path, fingerprint=fingerprint, params=params,
+            result=result,
+        )
+        state = AnchoredState.build(graph, frozenset(result.anchors))
+    else:
+        state = AnchoredState.build(graph)
+        base_coreness = dict(state.decomposition.coreness)
 
-    for _ in range(budget):
+    while len(result.anchors) < budget:
         with _obs.span("olak.iteration", iteration=len(result.anchors)):
             best, best_followers = _select_best(state, k)
             if best is None:
@@ -117,6 +170,19 @@ def _run_olak(graph: Graph, k: int, budget: int) -> OlakResult:
             result.kcore_growth += len(best_followers)
             _obs.add(_obs.OLAK_ITERATIONS)
             apply_anchor(state, best, compute_removals=False)
+            # Round committed; snapshot at the boundary only (mirrors GAC).
+            if checkpoint_path is not None and (
+                len(result.anchors) % checkpoint_every == 0
+                or len(result.anchors) == budget
+            ):
+                _write_olak_checkpoint(
+                    checkpoint_path,
+                    fingerprint=fingerprint,
+                    params=params,
+                    result=result,
+                    base_coreness=base_coreness,
+                )
+            _fault_point("olak.round_commit")
 
     anchor_set = set(result.anchors)
     final = core_decomposition(graph, anchor_set)
@@ -127,6 +193,65 @@ def _run_olak(graph: Graph, k: int, budget: int) -> OlakResult:
     )
     result.elapsed_seconds = _obs.clock() - start
     return result
+
+
+def _resume_olak(
+    graph: Graph,
+    budget: int,
+    resume_path: "str | os.PathLike[str]",
+    *,
+    fingerprint: str,
+    params: dict[str, object],
+    result: OlakResult,
+) -> dict[Vertex, int]:
+    """Rehydrate an OLAK round-boundary snapshot; returns base corenesses."""
+    del graph  # identity is checked through the fingerprint
+    snapshot = _checkpoint.load(resume_path)
+    _checkpoint.validate(
+        snapshot, algo="olak", fingerprint=fingerprint, params=params
+    )
+    payload = snapshot.payload
+    try:
+        anchors = list(payload["anchors"])
+        if len(anchors) > budget:
+            raise CheckpointError(
+                f"checkpoint already holds {len(anchors)} anchors, more than "
+                f"the budget {budget} of the resuming run"
+            )
+        result.anchors = anchors
+        result.followers = dict(payload["followers"])
+        result.kcore_growth = int(payload["kcore_growth"])
+        return dict(payload["base_coreness"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint payload is incomplete or malformed: {exc!r}"
+        ) from exc
+
+
+def _write_olak_checkpoint(
+    path: "str | os.PathLike[str]",
+    *,
+    fingerprint: str,
+    params: dict[str, object],
+    result: OlakResult,
+    base_coreness: dict[Vertex, int],
+) -> None:
+    """Snapshot the committed round; a failed write is gauged, never fatal."""
+    payload: dict[str, object] = {
+        "anchors": list(result.anchors),
+        "followers": dict(result.followers),
+        "kcore_growth": result.kcore_growth,
+        "base_coreness": dict(base_coreness),
+    }
+    try:
+        _checkpoint.save(
+            path,
+            _checkpoint.Checkpoint(
+                algo="olak", fingerprint=fingerprint, params=params, payload=payload
+            ),
+        )
+    except Exception:
+        _obs.gauge("olak.checkpoint.write_error", 1.0)
 
 
 def _select_best(

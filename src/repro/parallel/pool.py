@@ -25,6 +25,7 @@ from concurrent.futures import ProcessPoolExecutor
 
 from repro import obs as _obs
 from repro.core.tree import NodeId
+from repro.faults import fault_point as _fault_point
 from repro.graphs.csr import csr_view
 from repro.graphs.graph import Graph, Vertex
 from repro.parallel import worker as _worker
@@ -123,6 +124,7 @@ class CandidateScanPool:
             1, -(-len(payloads) // (self.workers * _TARGET_BATCHES_PER_WORKER))
         )
         try:
+            _fault_point("parallel.dispatch")
             results = list(
                 self._executor.map(_worker.evaluate, payloads, chunksize=chunksize)
             )
@@ -134,9 +136,20 @@ class CandidateScanPool:
         return results
 
     def close(self) -> None:
-        """Shut the executor down and release the shared-memory export."""
+        """Shut the executor down and release the shared-memory export.
+
+        Teardown failures are swallowed (gauged as ``parallel.close_error``):
+        the scan results are already merged by the time the pool closes,
+        and a cleanup error must not fail a finished run. The OS reclaims
+        a leaked mapping at process exit. Hosts the ``shm.exporter_finalize``
+        fault site.
+        """
         self._executor.shutdown(wait=False, cancel_futures=True)
-        self._shared.close()
+        try:
+            _fault_point("shm.exporter_finalize")
+            self._shared.close()
+        except Exception:
+            _obs.gauge("parallel.close_error", 1.0)
 
     def __repr__(self) -> str:
         state = "broken" if self.broken else "ready"

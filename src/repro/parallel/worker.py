@@ -27,6 +27,7 @@ from repro.anchors.followers import find_followers, followers_naive
 from repro.anchors.state import AnchoredState
 from repro.core.decomposition import CoreDecomposition, core_decomposition
 from repro.core.tree import NodeId
+from repro.faults import fault_point as _fault_point
 from repro.graphs.graph import Graph, Vertex
 from repro.parallel.shm import AttachedCSR, SharedCSRHandle, attach
 from repro.verify import verification as _verification
@@ -60,8 +61,14 @@ _state: _WorkerState | None = None
 
 
 def init_worker(handle: SharedCSRHandle, follower_method: str) -> None:
-    """Pool initializer: attach the shared CSR and build the graph once."""
+    """Pool initializer: attach the shared CSR and build the graph once.
+
+    Hosts the ``worker.shm_attach`` fault site (armed via the inherited
+    ``REPRO_FAULTS`` environment): a failed attach means the pool never
+    becomes healthy and the first dispatch falls back to the serial scan.
+    """
     global _state
+    _fault_point("worker.shm_attach")
     attachment = attach(handle)
     with _obs.tracing(False), _obs.suspended():
         graph = attachment.csr.to_graph()
@@ -90,10 +97,17 @@ def _state_for(epoch: int, anchors: tuple[Vertex, ...]) -> _WorkerState:
 
 
 def evaluate(task: TaskPayload) -> TaskResult:
-    """Evaluate one candidate's followers; ship result + counter deltas."""
+    """Evaluate one candidate's followers; ship result + counter deltas.
+
+    Hosts the ``worker.task_start`` and ``worker.follower_eval`` fault
+    sites. Both fire *before* the counter window opens, so an armed
+    ``delay`` never leaks extra counts into the shipped deltas.
+    """
     epoch, anchors, candidate, reusable = task
+    _fault_point("worker.task_start")
     with _obs.tracing(False), _verification(False):
         worker = _state_for(epoch, anchors)
+        _fault_point("worker.follower_eval")
         window = _obs.window()
         if worker.follower_method == "naive":
             total = len(

@@ -47,6 +47,7 @@ __all__ = [
     "verify_follower_report",
     "verify_greedy_total",
     "verify_olak_selection",
+    "verify_resume_replay",
     "verify_selection",
     "verify_shell_layers",
 ]
@@ -262,6 +263,52 @@ def verify_greedy_total(
                 f"greedy accumulated {total_gain} marginal gain but the final "
                 f"anchor set yields g(A, G) = {expected}",
             )
+
+
+def verify_resume_replay(
+    graph: Graph,
+    initial: frozenset[Vertex],
+    anchors: "list[Vertex]",
+    gains: "list[int]",
+    *,
+    use_upper_bounds: bool,
+    reuse: bool,
+    follower_method: str,
+    tie_break: str,
+    seed: int | None,
+) -> None:
+    """A resumed prefix replays to the same greedy trace from scratch.
+
+    Reruns the greedy with ``budget = len(anchors)`` — serial, checks
+    off, observability muted — and demands the same anchors in the same
+    order with the same marginal gains. A mismatch means the checkpoint
+    restored state (RNG position, reuse cache, baseline corenesses)
+    that the uninterrupted trajectory would not have produced.
+    """
+    if not anchors or graph.num_edges > verify.edge_limit(4):
+        return
+    with verify.suspended():
+        from repro.anchors.gac import greedy_anchored_coreness
+
+        replay = greedy_anchored_coreness(
+            graph,
+            len(anchors),
+            use_upper_bounds=use_upper_bounds,
+            reuse=reuse,
+            follower_method=follower_method,  # type: ignore[arg-type]
+            tie_break=tie_break,  # type: ignore[arg-type]
+            seed=seed,
+            initial_anchors=initial,
+            verify=False,
+            workers=0,
+        )
+    if replay.anchors != anchors or replay.gains != gains:
+        _fail(
+            "resume-replay",
+            f"checkpointed prefix (anchors={anchors[:5]}..., gains="
+            f"{gains[:5]}...) does not replay: a fresh run selects "
+            f"anchors={replay.anchors[:5]}..., gains={replay.gains[:5]}...",
+        )
 
 
 def verify_olak_selection(

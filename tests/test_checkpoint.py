@@ -1,0 +1,416 @@
+"""Tests for repro.checkpoint and the GAC/OLAK kill-and-resume paths.
+
+The acceptance criterion under test: a run killed at *any* round
+boundary and resumed from its checkpoint is byte-identical to the
+uninterrupted run — anchors, marginal gains, follower sets, the RNG
+stream (``tie_break="random"``), and the Figure-13 counter traces —
+for both the serial and the parallel candidate scan. Kills are
+simulated with the ``gac.round_commit`` / ``olak.round_commit`` fault
+sites (:mod:`repro.faults`), which fire right after the round's
+checkpoint write exactly like a SIGKILL would land.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+
+import pytest
+
+from repro import checkpoint as ckpt
+from repro import faults, obs
+from repro.anchors.gac import gac, greedy_anchored_coreness
+from repro.datasets import registry
+from repro.errors import CheckpointError, VerificationError
+from repro.faults import FaultInjected
+from repro.graphs.graph import Graph
+from repro.olak.olak import olak
+
+from conftest import small_random_graph
+
+
+@pytest.fixture(autouse=True)
+def _disarmed(monkeypatch):
+    monkeypatch.delenv(faults.ENV_FAULTS, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+@pytest.fixture
+def ckpt_path(tmp_path):
+    return str(tmp_path / "run.ckpt")
+
+
+def _result_tuple(result):
+    """Everything the determinism contract covers, as one comparable value."""
+    return (
+        result.anchors,
+        result.gains,
+        result.followers,
+        result.truncated,
+        [vars(t.counters) for t in result.traces],
+        [t.candidate_count for t in result.traces],
+    )
+
+
+def _olak_tuple(result):
+    return (result.anchors, result.followers, result.kcore_growth, result.coreness_gain)
+
+
+def _kill_and_resume(graph, budget, kill_round, path, *, workers=0, **kwargs):
+    """Run to ``kill_round``, die there, resume to ``budget``; the result."""
+    with pytest.raises(FaultInjected):
+        gac(
+            graph,
+            budget,
+            workers=workers,
+            checkpoint=path,
+            faults=f"gac.round_commit=raise@{kill_round}",
+            **kwargs,
+        )
+    return gac(graph, budget, workers=workers, resume=path, checkpoint=path, **kwargs)
+
+
+def _sample_checkpoint():
+    return ckpt.Checkpoint(
+        algo="gac",
+        fingerprint="f" * 64,
+        params={"tie_break": "id", "seed": None},
+        payload={"anchors": [1, 2], "gains": [3, 1]},
+    )
+
+
+# ----------------------------------------------------------------------
+# the envelope: save / load / validate
+# ----------------------------------------------------------------------
+class TestEnvelope:
+    def test_round_trip(self, ckpt_path):
+        original = _sample_checkpoint()
+        w0 = obs.get(obs.CHECKPOINT_WRITES)
+        r0 = obs.get(obs.CHECKPOINT_RESUMES)
+        ckpt.save(ckpt_path, original)
+        loaded = ckpt.load(ckpt_path)
+        assert loaded == original
+        assert loaded.rounds == 2
+        assert obs.get(obs.CHECKPOINT_WRITES) - w0 == 1
+        assert obs.get(obs.CHECKPOINT_RESUMES) - r0 == 1
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            ckpt.load(tmp_path / "nope.ckpt")
+
+    def test_corrupt_bytes(self, tmp_path):
+        path = tmp_path / "torn.ckpt"
+        path.write_bytes(b"\x80\x05 definitely not a pickle")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            ckpt.load(path)
+
+    def test_foreign_pickle_rejected(self, tmp_path):
+        path = tmp_path / "foreign.ckpt"
+        path.write_bytes(pickle.dumps({"magic": "something-else"}))
+        with pytest.raises(CheckpointError, match="not a repro-checkpoint"):
+            ckpt.load(path)
+        path.write_bytes(pickle.dumps([1, 2, 3]))
+        with pytest.raises(CheckpointError, match="not a repro-checkpoint"):
+            ckpt.load(path)
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "future.ckpt"
+        envelope = {
+            "magic": ckpt.MAGIC,
+            "version": ckpt.VERSION + 1,
+            "algo": "gac",
+            "fingerprint": "",
+            "params": {},
+            "payload": {},
+        }
+        path.write_bytes(pickle.dumps(envelope))
+        with pytest.raises(CheckpointError, match="format version"):
+            ckpt.load(path)
+
+    def test_validate_accepts_exact_match(self):
+        cp = _sample_checkpoint()
+        ckpt.validate(
+            cp, algo="gac", fingerprint="f" * 64, params=dict(cp.params)
+        )
+
+    def test_validate_rejects_algo_mismatch(self):
+        with pytest.raises(CheckpointError, match="algorithm"):
+            ckpt.validate(
+                _sample_checkpoint(), algo="olak", fingerprint="f" * 64, params={}
+            )
+
+    def test_validate_rejects_fingerprint_mismatch(self):
+        with pytest.raises(CheckpointError, match="different graph"):
+            ckpt.validate(
+                _sample_checkpoint(),
+                algo="gac",
+                fingerprint="0" * 64,
+                params={"tie_break": "id", "seed": None},
+            )
+
+    def test_validate_names_the_differing_params(self):
+        with pytest.raises(CheckpointError, match="tie_break='id'"):
+            ckpt.validate(
+                _sample_checkpoint(),
+                algo="gac",
+                fingerprint="f" * 64,
+                params={"tie_break": "degree", "seed": None},
+            )
+
+    def test_failed_write_preserves_previous_snapshot(self, tmp_path, ckpt_path):
+        first = _sample_checkpoint()
+        ckpt.save(ckpt_path, first)
+        with faults.arming("checkpoint.write=raise"):
+            with pytest.raises(FaultInjected):
+                ckpt.save(ckpt_path, ckpt.Checkpoint("gac", "x", {}, {}))
+        assert ckpt.load(ckpt_path) == first  # previous file intact
+        assert [p.name for p in tmp_path.iterdir()] == ["run.ckpt"]  # no tmp litter
+
+    def test_graph_fingerprint_is_structural(self):
+        a = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        b = Graph.from_edges([(1, 2), (0, 2), (0, 1)])  # same graph, other order
+        c = Graph.from_edges([(0, 1), (1, 2)])
+        assert ckpt.graph_fingerprint(a) == ckpt.graph_fingerprint(b)
+        assert ckpt.graph_fingerprint(a) != ckpt.graph_fingerprint(c)
+
+
+# ----------------------------------------------------------------------
+# GAC kill-and-resume (fast, small graphs)
+# ----------------------------------------------------------------------
+class TestGacResume:
+    def test_kill_and_resume_every_round(self, ckpt_path):
+        graph = small_random_graph(3)
+        oracle = _result_tuple(gac(graph, 4, tie_break="id"))
+        for kill_round in (1, 2, 3):
+            resumed = _kill_and_resume(
+                graph, 4, kill_round, ckpt_path, tie_break="id"
+            )
+            assert _result_tuple(resumed) == oracle, f"diverged at round {kill_round}"
+
+    def test_random_tie_break_restores_the_rng_stream(self, ckpt_path):
+        graph = small_random_graph(1)
+        oracle = _result_tuple(gac(graph, 4, tie_break="random", seed=7))
+        resumed = _kill_and_resume(
+            graph, 4, 2, ckpt_path, tie_break="random", seed=7
+        )
+        assert _result_tuple(resumed) == oracle
+
+    def test_resume_extends_the_budget(self, ckpt_path):
+        graph = small_random_graph(3)
+        gac(graph, 2, tie_break="id", checkpoint=ckpt_path)
+        extended = gac(graph, 4, tie_break="id", resume=ckpt_path)
+        fresh = gac(graph, 4, tie_break="id")
+        assert _result_tuple(extended) == _result_tuple(fresh)
+
+    def test_resume_with_met_budget_returns_immediately(self, ckpt_path):
+        graph = small_random_graph(3)
+        done = gac(graph, 3, tie_break="id", checkpoint=ckpt_path)
+        resumed = gac(graph, 3, tie_break="id", resume=ckpt_path)
+        assert _result_tuple(resumed) == _result_tuple(done)
+
+    def test_resume_rejects_param_mismatch(self, ckpt_path):
+        graph = small_random_graph(3)
+        gac(graph, 2, tie_break="id", checkpoint=ckpt_path)
+        with pytest.raises(CheckpointError, match="tie_break"):
+            gac(graph, 3, tie_break="degree", resume=ckpt_path)
+
+    def test_resume_rejects_a_different_graph(self, ckpt_path):
+        gac(small_random_graph(3), 2, tie_break="id", checkpoint=ckpt_path)
+        with pytest.raises(CheckpointError, match="different graph"):
+            gac(small_random_graph(5), 3, tie_break="id", resume=ckpt_path)
+
+    def test_resume_rejects_the_wrong_algorithm(self, ckpt_path):
+        graph = small_random_graph(3)
+        foreign = ckpt.Checkpoint(
+            algo="olak",
+            fingerprint=ckpt.graph_fingerprint(graph),
+            params={"k": 2},
+            payload={"anchors": []},
+        )
+        ckpt.save(ckpt_path, foreign)
+        with pytest.raises(CheckpointError, match="algorithm"):
+            gac(graph, 2, tie_break="id", resume=ckpt_path)
+
+    def test_resume_rejects_anchors_beyond_budget(self, ckpt_path):
+        graph = small_random_graph(3)
+        gac(graph, 3, tie_break="id", checkpoint=ckpt_path)
+        with pytest.raises(CheckpointError, match="budget"):
+            gac(graph, 2, tie_break="id", resume=ckpt_path)
+
+    def test_resume_rejects_a_gutted_payload(self, ckpt_path):
+        graph = small_random_graph(3)
+        gac(graph, 2, tie_break="id", checkpoint=ckpt_path)
+        damaged = ckpt.load(ckpt_path)
+        del damaged.payload["rng_state"]
+        ckpt.save(ckpt_path, damaged)
+        with pytest.raises(CheckpointError):
+            gac(graph, 3, tie_break="id", resume=ckpt_path)
+
+    def test_checkpoint_every_thins_writes_but_keeps_the_final_round(
+        self, ckpt_path
+    ):
+        graph = small_random_graph(3)
+        w0 = obs.get(obs.CHECKPOINT_WRITES)
+        gac(graph, 3, tie_break="id", checkpoint=ckpt_path, checkpoint_every=2)
+        # round 2 (multiple of 2) and round 3 (final) are written
+        assert obs.get(obs.CHECKPOINT_WRITES) - w0 == 2
+        assert ckpt.load(ckpt_path).rounds == 3
+
+    def test_checkpoint_every_must_be_positive(self, ckpt_path):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            gac(small_random_graph(3), 2, checkpoint=ckpt_path, checkpoint_every=0)
+
+    def test_resume_replay_invariant_accepts_a_faithful_snapshot(self, ckpt_path):
+        graph = small_random_graph(3)
+        oracle = _result_tuple(gac(graph, 3, tie_break="id"))
+        resumed = _kill_and_resume(
+            graph, 3, 2, ckpt_path, tie_break="id", verify=True
+        )
+        assert _result_tuple(resumed) == oracle
+
+    def test_resume_replay_invariant_rejects_a_tampered_snapshot(self, ckpt_path):
+        graph = small_random_graph(3)
+        with pytest.raises(FaultInjected):
+            gac(
+                graph,
+                3,
+                tie_break="id",
+                checkpoint=ckpt_path,
+                faults="gac.round_commit=raise@2",
+            )
+        snapshot = ckpt.load(ckpt_path)
+        anchors = snapshot.payload["anchors"]
+        assert len(anchors) == 2
+        anchors.reverse()  # a greedy prefix never selects in this order
+        snapshot.payload["gains"].reverse()
+        ckpt.save(ckpt_path, snapshot)
+        with pytest.raises(VerificationError, match="resume-replay"):
+            gac(graph, 3, tie_break="id", resume=ckpt_path, verify=True)
+
+
+# ----------------------------------------------------------------------
+# OLAK kill-and-resume
+# ----------------------------------------------------------------------
+#: Triangle {0,1,2} plus two pendant pairs; anchoring 3 pulls 4 into
+#: the 2-core and anchoring 5 pulls 6 in, so OLAK at k=2 has two
+#: productive rounds on seven vertices.
+_OLAK_EDGES = [(0, 1), (1, 2), (0, 2), (3, 4), (0, 4), (5, 6), (1, 6)]
+
+
+class TestOlakResume:
+    def test_kill_and_resume_matches_uninterrupted(self, ckpt_path):
+        graph = Graph.from_edges(_OLAK_EDGES)
+        oracle = olak(graph, 2, 2)
+        assert len(oracle.anchors) == 2  # both rounds are productive
+        with pytest.raises(FaultInjected):
+            olak(
+                graph,
+                2,
+                2,
+                checkpoint=ckpt_path,
+                faults="olak.round_commit=raise@1",
+            )
+        resumed = olak(graph, 2, 2, resume=ckpt_path)
+        assert _olak_tuple(resumed) == _olak_tuple(oracle)
+
+    def test_resume_rejects_k_mismatch(self, ckpt_path):
+        graph = Graph.from_edges(_OLAK_EDGES)
+        olak(graph, 2, 1, checkpoint=ckpt_path)
+        with pytest.raises(CheckpointError, match="k="):
+            olak(graph, 3, 2, resume=ckpt_path)
+
+    def test_checkpoint_write_fault_is_survivable(self, ckpt_path):
+        graph = Graph.from_edges(_OLAK_EDGES)
+        clean = olak(graph, 2, 2)
+        injured = olak(
+            graph, 2, 2, checkpoint=ckpt_path, faults="checkpoint.write=raise"
+        )
+        assert _olak_tuple(injured) == _olak_tuple(clean)
+        assert not os.path.exists(ckpt_path)
+        assert obs.gauges_snapshot().get("olak.checkpoint.write_error") == 1.0  # lint: float-eq-ok gauge stores the exact literal 1.0
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_checkpoint_then_resume_extends_the_run(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = str(tmp_path / "cli.ckpt")
+        assert (
+            main(["anchor", "--dataset", "arxiv", "-b", "2", "--checkpoint", path])
+            == 0
+        )
+        first = capsys.readouterr().out
+        assert (
+            main(["anchor", "--dataset", "arxiv", "-b", "3", "--resume", path]) == 0
+        )
+        resumed = capsys.readouterr().out
+        assert main(["anchor", "--dataset", "arxiv", "-b", "3"]) == 0
+        fresh = capsys.readouterr().out
+        assert resumed == fresh
+        first_anchors = first.splitlines()[0].split()[1:]
+        resumed_anchors = resumed.splitlines()[0].split()[1:]
+        assert resumed_anchors[: len(first_anchors)] == first_anchors
+
+
+# ----------------------------------------------------------------------
+# the acceptance criterion, on a seed dataset
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+@pytest.mark.integration
+class TestSeedDatasetAcceptance:
+    """Kill-and-resume at every round boundary of an arxiv b=5 run."""
+
+    _oracles: dict[int, tuple] = {}
+
+    def _oracle(self, graph, workers):
+        if workers not in self._oracles:
+            self._oracles[workers] = _result_tuple(
+                greedy_anchored_coreness(graph, 5, workers=workers)
+            )
+        return self._oracles[workers]
+
+    @pytest.mark.parametrize("workers", [0, 2])
+    @pytest.mark.parametrize("kill_round", [1, 2, 3, 4])
+    def test_every_round_boundary_is_byte_identical(
+        self, tmp_path, workers, kill_round
+    ):
+        graph = registry.load("arxiv")
+        oracle = self._oracle(graph, workers)
+        path = str(tmp_path / f"arxiv-{workers}-{kill_round}.ckpt")
+        with pytest.raises(FaultInjected):
+            greedy_anchored_coreness(
+                graph,
+                5,
+                workers=workers,
+                checkpoint=path,
+                faults=f"gac.round_commit=raise@{kill_round}",
+            )
+        assert ckpt.load(path).rounds == kill_round
+        resumed = greedy_anchored_coreness(graph, 5, workers=workers, resume=path)
+        assert _result_tuple(resumed) == oracle
+
+    def test_random_tie_break_stream_survives_a_kill(self, tmp_path):
+        graph = registry.load("arxiv")
+        oracle = _result_tuple(
+            greedy_anchored_coreness(graph, 5, tie_break="random", seed=13)
+        )
+        path = str(tmp_path / "arxiv-random.ckpt")
+        with pytest.raises(FaultInjected):
+            greedy_anchored_coreness(
+                graph,
+                5,
+                tie_break="random",
+                seed=13,
+                checkpoint=path,
+                faults="gac.round_commit=raise@3",
+            )
+        resumed = greedy_anchored_coreness(
+            graph, 5, tie_break="random", seed=13, resume=path
+        )
+        assert _result_tuple(resumed) == oracle

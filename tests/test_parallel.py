@@ -35,7 +35,7 @@ from repro.parallel import (
     resolve_workers,
 )
 
-from conftest import small_random_graph
+from conftest import needs_shm, small_random_graph
 
 _HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
 
@@ -96,6 +96,7 @@ class TestUtil:
 # ----------------------------------------------------------------------
 # shared-memory CSR export / attach
 # ----------------------------------------------------------------------
+@needs_shm
 class TestSharedCSR:
     def test_round_trip(self):
         graph = small_random_graph(3)
@@ -247,6 +248,7 @@ class TestScanDeterminism:
         parallel = gac(graph, 3, tie_break="random", seed=99, workers=2)
         assert _result_tuple(serial) == _result_tuple(parallel)
 
+    @needs_shm
     def test_env_knob_engages_pool(self, tiny_pools, monkeypatch):
         monkeypatch.setenv("REPRO_PARALLEL", "2")
         graph = small_random_graph(1, n=60, m=160)
@@ -286,6 +288,7 @@ def _hard_crash_evaluate(task):
     os._exit(1)
 
 
+@needs_shm
 @pytest.mark.skipif(not _HAS_FORK, reason="crash injection needs fork workers")
 class TestCrashFallback:
     @pytest.fixture(autouse=True)

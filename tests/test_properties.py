@@ -4,6 +4,10 @@ Every theorem the implementation relies on is stated here as a property
 over randomly generated graphs.
 """
 
+import os
+import tempfile
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -261,6 +265,53 @@ def test_olak_restricted_followers_match_kcore_diff(pair, k):
         u for u in graph.vertices() if u != x and after.coreness[u] >= k
     } - before
     assert fast == naive
+
+
+@given(
+    graph_strategy(max_vertices=20),
+    st.integers(min_value=1, max_value=4),
+    st.sampled_from(["id", "random"]),
+)
+@SLOW
+def test_kill_and_resume_matches_the_uninterrupted_oracle(
+    graph, kill_round, tie_break
+):
+    """The differential harness: killing a GAC run at *any* round
+    boundary (via the ``gac.round_commit`` fault site) and resuming
+    from its checkpoint reproduces the uninterrupted oracle exactly —
+    anchors, marginal gains, follower sets, and Figure-13 counter
+    traces, RNG stream included for ``tie_break="random"``."""
+    from repro.faults import FaultInjected
+
+    def fingerprint(result):
+        return (
+            result.anchors,
+            result.gains,
+            result.followers,
+            [vars(t.counters) for t in result.traces],
+            [t.candidate_count for t in result.traces],
+        )
+
+    budget = min(4, graph.num_vertices)
+    oracle = gac(graph, budget, tie_break=tie_break, seed=11)
+    if not oracle.anchors:
+        return  # nothing to kill: the greedy never reaches a round boundary
+    kill_round = min(kill_round, len(oracle.anchors))
+    # hypothesis reuses function-scoped tmp_path across examples; a
+    # per-example TemporaryDirectory keeps checkpoints isolated instead
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "prop.ckpt")
+        with pytest.raises(FaultInjected):
+            gac(
+                graph,
+                budget,
+                tie_break=tie_break,
+                seed=11,
+                checkpoint=path,
+                faults=f"gac.round_commit=raise@{kill_round}",
+            )
+        resumed = gac(graph, budget, tie_break=tie_break, seed=11, resume=path)
+    assert fingerprint(resumed) == fingerprint(oracle)
 
 
 @given(graph_and_vertex(max_vertices=16))
