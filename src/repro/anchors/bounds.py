@@ -77,7 +77,7 @@ def compute_upper_bounds(state: AnchoredState) -> UpperBounds:
 
 
 @pure
-def refined_total(
+def refined_total(  # lint: obs-ok pure arithmetic over precomputed bounds
     u: Vertex,
     bounds: UpperBounds,
     cached_counts: dict[NodeId, int],

@@ -24,12 +24,14 @@ from repro.graphs.graph import Graph, Vertex
 from repro.obs import clock as _clock
 
 
-def uniform_costs(graph: Graph, cost: float = 1.0) -> dict[Vertex, float]:
+def uniform_costs(  # lint: obs-ok trivial dict construction
+    graph: Graph, cost: float = 1.0
+) -> dict[Vertex, float]:
     """Every vertex costs the same — recovers the paper's model."""
     return {u: cost for u in graph.vertices()}
 
 
-def degree_proportional_costs(
+def degree_proportional_costs(  # lint: obs-ok trivial dict construction
     graph: Graph, base: float = 1.0, per_degree: float = 0.25
 ) -> dict[Vertex, float]:
     """Costs growing linearly with degree (hubs demand larger incentives)."""

@@ -35,7 +35,7 @@ import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Literal
 
-from repro import checkpoint as _checkpoint
+from repro import checkpoint as _checkpoint  # lint: layer-ok sanctioned persistence hook
 from repro import obs as _obs
 from repro.anchors.bounds import UpperBounds, compute_upper_bounds, refined_total
 from repro.anchors.followers import (
@@ -50,8 +50,8 @@ from repro.anchors.state import AnchoredState
 from repro.core.decomposition import _sort_key
 from repro.core.tree import NodeId
 from repro.errors import BudgetError, CheckpointError
-from repro.faults import arming as _fault_arming  # lint: fault-ok greedy arms per-run plans
-from repro.faults import fault_point as _fault_point  # lint: fault-ok hosts gac.round_commit
+from repro.faults import arming as _fault_arming  # lint: fault-ok layer-ok greedy arms per-run plans
+from repro.faults import fault_point as _fault_point  # lint: fault-ok layer-ok hosts gac.round_commit
 from repro.graphs.graph import Graph, Vertex
 from repro.verify import enabled as _verify_enabled
 from repro.verify import verification as _verification

@@ -250,10 +250,31 @@ def build_parser() -> argparse.ArgumentParser:
         "faults", help="list the registered fault-injection sites"
     )
     p_faults.set_defaults(func=_cmd_faults)
+
+    # "lint" is dispatched before argparse in main() (REMAINDER cannot
+    # forward leading --flags); registered here only for --help listing.
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the determinism linter (all arguments forwarded to "
+        "repro.lint; see 'python -m repro lint --help')",
+    )
+    p_lint.set_defaults(func=lambda _args: _cmd_lint([]))
     return parser
 
 
+def _cmd_lint(forwarded: list[str]) -> int:
+    from repro.lint.__main__ import main as lint_main
+
+    return lint_main(forwarded)
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # Forward everything after "lint" verbatim (argparse REMAINDER
+        # refuses to swallow leading --flags, so bypass it entirely).
+        return _cmd_lint(list(argv[1:]))
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -19,7 +19,9 @@ from repro.core.decomposition import CoreDecomposition
 from repro.graphs.graph import Graph, Vertex
 
 
-def same_shell_above(graph: Graph, decomposition: CoreDecomposition, u: Vertex) -> set[Vertex]:
+def same_shell_above(  # lint: obs-ok pure O(deg) helper on the shell index
+    graph: Graph, decomposition: CoreDecomposition, u: Vertex
+) -> set[Vertex]:
     """``tca_=^>(u)``: neighbors in u's shell at a strictly higher layer."""
     pairs = decomposition.shell_layer
     ku, iu = pairs[u]
@@ -30,7 +32,7 @@ def same_shell_above(graph: Graph, decomposition: CoreDecomposition, u: Vertex) 
     }
 
 
-def same_shell_at_or_below(
+def same_shell_at_or_below(  # lint: obs-ok pure O(deg) helper on the shell index
     graph: Graph, decomposition: CoreDecomposition, u: Vertex
 ) -> set[Vertex]:
     """``tca_=^<=(u)``: neighbors in u's shell at a lower or equal layer."""
@@ -43,14 +45,18 @@ def same_shell_at_or_below(
     }
 
 
-def successive_degree(graph: Graph, decomposition: CoreDecomposition, u: Vertex) -> int:
+def successive_degree(  # lint: obs-ok pure O(deg) helper on the shell index
+    graph: Graph, decomposition: CoreDecomposition, u: Vertex
+) -> int:
     """``deg_succ(u) = |{v in N(u) : P(v) > P(u)}|`` (the SD heuristic's score)."""
     pairs = decomposition.shell_layer
     pu = pairs[u]
     return sum(1 for v in graph.neighbors(u) if pairs[v] > pu)
 
 
-def all_successive_degrees(graph: Graph, decomposition: CoreDecomposition) -> dict[Vertex, int]:
+def all_successive_degrees(  # lint: obs-ok pure helper on the shell index
+    graph: Graph, decomposition: CoreDecomposition
+) -> dict[Vertex, int]:
     """Successive degree of every vertex in one pass."""
     pairs = decomposition.shell_layer
     return {
@@ -59,7 +65,7 @@ def all_successive_degrees(graph: Graph, decomposition: CoreDecomposition) -> di
     }
 
 
-def upstair_reachable(
+def upstair_reachable(  # lint: obs-ok pure BFS helper on the shell index
     graph: Graph, decomposition: CoreDecomposition, x: Vertex
 ) -> set[Vertex]:
     """``CF(x)``: vertices reachable from ``x`` via an upstair path.
@@ -95,7 +101,9 @@ def upstair_reachable(
     return reached
 
 
-def layer_partition(decomposition: CoreDecomposition, k: int) -> list[set[Vertex]]:
+def layer_partition(  # lint: obs-ok pure regrouping of the decomposition
+    decomposition: CoreDecomposition, k: int
+) -> list[set[Vertex]]:
     """The layers ``H_k^1, H_k^2, ...`` of the k-shell, as a list of sets."""
     layers: dict[int, set[Vertex]] = {}
     for u, (ku, iu) in decomposition.shell_layer.items():
@@ -104,7 +112,7 @@ def layer_partition(decomposition: CoreDecomposition, k: int) -> list[set[Vertex
     return [layers[i] for i in sorted(layers)]
 
 
-def is_upstair_path(
+def is_upstair_path(  # lint: obs-ok pure predicate on a candidate path
     graph: Graph, decomposition: CoreDecomposition, path: list[Vertex]
 ) -> bool:
     """Whether ``path`` (starting at the anchor) is an upstair path.

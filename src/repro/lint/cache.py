@@ -1,0 +1,132 @@
+"""An mtime+size keyed parse cache for repeated linter runs.
+
+Parsing (``ast.parse`` + the ``tokenize`` pass that extracts waiver
+comments) dominates a warm ``python -m repro lint`` run now that the
+whole-program passes re-read the full ``src/`` tree. The cache stores
+each file's parse products — the AST, the waiver map, and any
+waiver-syntax diagnostics — keyed by ``(mtime_ns, size)``, so an
+unchanged file is never re-parsed. Rules and passes still run on every
+invocation: the cache changes *when work happens*, never *what the
+linter reports*.
+
+The cache file is one pickle, written atomically next to the baseline
+(``.lint-cache.pkl`` by default) and invalidated wholesale when the
+linter's own fingerprint (format version + known waiver slugs) changes,
+since the waiver parser's output depends on the slug set.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+import ast
+
+from repro.lint.diagnostics import Diagnostic
+
+_FORMAT_VERSION = 1
+
+#: One cached parse: (mtime_ns, size, tree, waivers, waiver problems).
+CacheEntry = tuple[int, int, ast.Module, "dict[int, set[str]]", "list[Diagnostic]"]
+ParseProducts = tuple[ast.Module, "dict[int, set[str]]", "list[Diagnostic]"]
+
+DEFAULT_CACHE_PATH = Path(".lint-cache.pkl")
+
+
+class ParseCache:
+    """Per-file parse products keyed by path + mtime + size.
+
+    Args:
+        path: the pickle file backing the cache (missing or corrupt
+            files start an empty cache — the cache must never be able
+            to fail a run).
+        fingerprint: a token identifying the linter configuration the
+            entries were produced under (typically the format version
+            plus the known waiver slugs); a mismatch discards the file.
+    """
+
+    def __init__(self, path: "Path | str", fingerprint: str) -> None:
+        self.path = Path(path)
+        self.fingerprint = f"v{_FORMAT_VERSION}:{fingerprint}"
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        self._entries: dict[str, CacheEntry] = {}
+        try:
+            raw = self.path.read_bytes()
+            document = pickle.loads(raw)
+            if (
+                isinstance(document, dict)
+                and document.get("fingerprint") == self.fingerprint
+            ):
+                self._entries = dict(document["entries"])
+        except (OSError, pickle.UnpicklingError, KeyError, EOFError, ValueError,
+                AttributeError, ImportError, IndexError):
+            self._entries = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _stat(path: Path) -> tuple[int, int] | None:
+        try:
+            stat = path.stat()
+        except OSError:
+            return None
+        return stat.st_mtime_ns, stat.st_size
+
+    def get(self, path: Path) -> ParseProducts | None:
+        """The cached parse of ``path``, or ``None`` when stale/unknown.
+
+        Counts a hit or miss either way, so the CLI summary can report
+        how much re-parsing the cache saved.
+        """
+        key = str(path.resolve())
+        stamp = self._stat(path)
+        entry = self._entries.get(key)
+        if stamp is None or entry is None or entry[:2] != stamp:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry[2], entry[3], entry[4]
+
+    def put(
+        self,
+        path: Path,
+        tree: ast.Module,
+        waivers: "dict[int, set[str]]",
+        problems: "list[Diagnostic]",
+    ) -> None:
+        """Record the parse products of ``path`` under its current stamp."""
+        stamp = self._stat(path)
+        if stamp is None:
+            return
+        key = str(path.resolve())
+        self._entries[key] = (stamp[0], stamp[1], tree, waivers, problems)
+        self._dirty = True
+
+    def save(self) -> None:
+        """Persist the cache atomically; I/O failures are swallowed.
+
+        A cache that cannot be written simply means the next run
+        re-parses — it must never turn a clean lint run into a failure.
+        """
+        if not self._dirty:
+            return
+        document = {"fingerprint": self.fingerprint, "entries": self._entries}
+        try:
+            parent = self.path.parent if str(self.path.parent) else Path(".")
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=self.path.name + ".", suffix=".tmp", dir=parent
+            )
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(document, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, self.path)
+        except OSError:
+            pass
+
+    def summary(self) -> str:
+        """``"N reparsed, M cached"`` for the CLI summary line."""
+        return f"{self.misses} parsed, {self.hits} from cache"

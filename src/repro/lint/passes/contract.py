@@ -1,0 +1,229 @@
+"""L4 — checkpoint payload contract between writers and resume paths.
+
+A checkpoint field is only useful if both halves exist: the writer puts
+it in the payload dict handed to ``Checkpoint(...)``, and the resume
+path reads it back out of ``snapshot.payload[...]``. PR 5 nearly
+shipped a field wired on one side only; this pass makes that a lint
+failure.
+
+Detection is purely structural: a *writer* is any ``Checkpoint(...)``
+call whose ``payload=`` keyword is (or names) a dict literal with
+string-constant keys; a *reader* is any string-constant subscript of an
+expression assigned from ``<x>.payload`` (or subscripted directly as
+``<x>.payload[...]``). Writers and readers pair up by the constant
+``algo=`` tag when present, falling back to their defining module.
+Fields seen on one side but not the other are diagnosed at the line
+that mentions them; waive a deliberately asymmetric field (e.g. kept
+only for forensic dumps) with ``# lint: ckpt-ok <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.passes.base import register_pass
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle avoidance)
+    from repro.lint.program import FunctionInfo, ModuleInfo, ProjectModel
+
+
+def _const_str(expr: ast.expr | None) -> str | None:
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value
+    return None
+
+
+def _keyword(call: ast.Call, name: str) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+class _Side:
+    """Payload fields one function writes or reads: field -> line."""
+
+    def __init__(
+        self, mod: "ModuleInfo", fn: "FunctionInfo", algo: str | None
+    ) -> None:
+        self.mod = mod
+        self.fn = fn
+        self.algo = algo
+        self.fields: dict[str, int] = {}
+
+
+def _dict_keys_of(expr: ast.expr, fn_node: ast.AST) -> dict[str, int]:
+    """String keys of a dict literal, following one local-name hop."""
+    if isinstance(expr, ast.Name):
+        for stmt in ast.walk(fn_node):
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                if any(
+                    isinstance(t, ast.Name) and t.id == expr.id
+                    for t in stmt.targets
+                ):
+                    value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                if (
+                    isinstance(stmt.target, ast.Name)
+                    and stmt.target.id == expr.id
+                ):
+                    value = stmt.value
+            if isinstance(value, ast.Dict):
+                expr = value
+                break
+    if not isinstance(expr, ast.Dict):
+        return {}
+    fields: dict[str, int] = {}
+    for key in expr.keys:
+        name = _const_str(key)
+        if name is not None:
+            fields.setdefault(name, key.lineno if key is not None else 1)
+    return fields
+
+
+def _find_writers(mod: "ModuleInfo") -> list[_Side]:
+    writers: list[_Side] = []
+    for fn in mod.functions.values():
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            called = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else ""
+            )
+            if called != "Checkpoint":
+                continue
+            payload = _keyword(node, "payload")
+            if payload is None:
+                continue
+            fields = _dict_keys_of(payload, fn.node)
+            if not fields:
+                continue
+            side = _Side(mod, fn, _const_str(_keyword(node, "algo")))
+            side.fields = fields
+            writers.append(side)
+    return writers
+
+
+def _find_readers(mod: "ModuleInfo") -> list[_Side]:
+    readers: list[_Side] = []
+    for fn in mod.functions.values():
+        payload_names: set[str] = set()
+        algo: str | None = None
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Attribute
+            ):
+                if node.value.attr == "payload":
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            payload_names.add(target.id)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                called = (
+                    func.attr
+                    if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name) else ""
+                )
+                if called in {"validate", "load", "load_checkpoint"}:
+                    algo = algo or _const_str(_keyword(node, "algo"))
+        side = _Side(mod, fn, algo)
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Subscript):
+                continue
+            base = node.value
+            is_payload = (
+                isinstance(base, ast.Name) and base.id in payload_names
+            ) or (isinstance(base, ast.Attribute) and base.attr == "payload")
+            if not is_payload:
+                continue
+            key = _const_str(node.slice)
+            if key is not None:
+                side.fields.setdefault(key, node.lineno)
+        if side.fields:
+            readers.append(side)
+    return readers
+
+
+@register_pass
+class CheckpointContractPass:
+    """Every checkpoint field written must be consumed on resume (pass L4)."""
+
+    rule_id: ClassVar[str] = "L4"
+    slug: ClassVar[str] = "ckpt-ok"
+    summary: ClassVar[str] = "checkpoint payload field wired on one side only"
+
+    def check(self, model: "ProjectModel") -> Iterator[Diagnostic]:
+        writers: list[_Side] = []
+        readers: list[_Side] = []
+        for mod in sorted(model.modules.values(), key=lambda m: m.name):
+            writers.extend(_find_writers(mod))
+            readers.extend(_find_readers(mod))
+        for writer in writers:
+            partners = self._partners(writer, readers)
+            read_fields: set[str] = set()
+            for reader in partners:
+                read_fields.update(reader.fields)
+            if not partners:
+                yield from self._emit(
+                    writer, sorted(writer.fields),
+                    "is written by {fn}() but no resume path reads this "
+                    "payload at all; wire the restore in the matching "
+                    "resume function",
+                )
+                continue
+            missing = sorted(set(writer.fields) - read_fields)
+            yield from self._emit(
+                writer, missing,
+                "is written by {fn}() but never consumed on the matching "
+                "resume path; wire the restore or drop the field",
+            )
+        for reader in readers:
+            partners = self._partners(reader, writers)
+            if not partners:
+                continue  # reads foreign payloads (e.g. generic tooling)
+            written_fields: set[str] = set()
+            for writer in partners:
+                written_fields.update(writer.fields)
+            missing = sorted(set(reader.fields) - written_fields)
+            yield from self._emit(
+                reader, missing,
+                "is consumed by {fn}() on resume but never written into "
+                "the checkpoint payload; write it or drop the read",
+            )
+
+    @staticmethod
+    def _partners(side: _Side, candidates: list[_Side]) -> list[_Side]:
+        """Opposite sides this one pairs with: same algo tag, else module."""
+        if side.algo is not None:
+            tagged = [c for c in candidates if c.algo == side.algo]
+            if tagged:
+                return tagged
+        return [
+            c
+            for c in candidates
+            if c.mod.name == side.mod.name
+            and (c.algo is None or side.algo is None or c.algo == side.algo)
+        ]
+
+    def _emit(
+        self, side: _Side, fields: list[str], template: str
+    ) -> Iterator[Diagnostic]:
+        for name in fields:
+            line = side.fields.get(name, side.fn.node.lineno)
+            if side.mod.waived(self.slug, line) or side.mod.waived(
+                self.slug, *side.fn.waiver_lines
+            ):
+                continue
+            detail = template.format(fn=side.fn.name)
+            yield Diagnostic(
+                path=str(side.mod.path), line=line, col=0, rule=self.rule_id,
+                message=f"checkpoint payload field '{name}' {detail}",
+                code=name,
+            )

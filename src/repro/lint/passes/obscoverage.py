@@ -1,0 +1,61 @@
+"""L3 — observability coverage of hot-path public functions.
+
+Every public module-level function in the hot units (``anchors``,
+``core``, ``olak``, ``parallel``) must open an obs span or bump a
+registry counter — directly or through something it calls — so the
+profiling substrate added in PR 3 cannot silently rot as the hot path
+grows. Pure helpers that genuinely need no instrumentation carry a
+``# lint: obs-ok <reason>`` waiver on their ``def`` (or decorator)
+line, which doubles as documentation that the omission is deliberate.
+
+Package ``__init__`` re-export modules and ``__main__`` entry shims are
+skipped: they hold no hot-path bodies of their own.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.passes.base import register_pass
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle avoidance)
+    from repro.lint.program import ProjectModel
+
+#: Units whose public functions are the measured hot path.
+HOT_UNITS = frozenset({"anchors", "core", "olak", "parallel"})
+
+
+@register_pass
+class ObsCoveragePass:
+    """Require obs instrumentation on hot-path public functions (pass L3)."""
+
+    rule_id: ClassVar[str] = "L3"
+    slug: ClassVar[str] = "obs-ok"
+    summary: ClassVar[str] = "hot-path public function carries no obs instrumentation"
+
+    def check(self, model: "ProjectModel") -> Iterator[Diagnostic]:
+        for mod in sorted(model.modules.values(), key=lambda m: m.name):
+            if mod.unit not in HOT_UNITS:
+                continue
+            if mod.path.name == "__init__.py" or mod.name.endswith("__main__"):
+                continue
+            for fn in mod.functions.values():
+                if "." in fn.qualname or not fn.is_public:
+                    continue
+                if model.reaches_obs(fn.key):
+                    continue
+                if mod.waived(self.slug, *fn.waiver_lines):
+                    continue
+                yield Diagnostic(
+                    path=str(mod.path), line=fn.node.lineno,
+                    col=fn.node.col_offset, rule=self.rule_id,
+                    message=(
+                        f"public hot-path function {fn.name}() in {mod.name} "
+                        "neither opens an obs span nor bumps a registry "
+                        "counter (directly or transitively); instrument it "
+                        "or mark it '# lint: obs-ok <reason>'"
+                    ),
+                    code=f"def {fn.name}",
+                )

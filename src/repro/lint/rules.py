@@ -1,9 +1,12 @@
-"""The determinism lint rules (R1–R8) and the rule registry.
+"""The determinism lint rules (R1–R9) and the rule registry.
 
 Each rule is a small class implementing the :class:`Rule` protocol and
 registered via :func:`register`. Rules are pure AST passes over a
 :class:`LintContext`; they never import the modules they inspect, so the
-linter can check broken or heavy files safely.
+linter can check broken or heavy files safely. (The header above is
+asserted against the registry at import time — see
+:func:`_assert_docstring_covers_registry` — so it cannot drift when a
+rule is added.)
 
 The rules encode invariants this reproduction depends on:
 
@@ -105,6 +108,7 @@ class LintContext:
     waivers: dict[int, set[str]] = field(default_factory=dict)
     is_test: bool = False
     is_benchmark: bool = False
+    is_script: bool = False
     is_experiment: bool = False
     is_obs: bool = False
     is_parallel: bool = False
@@ -626,7 +630,7 @@ class WallClockRule:
     )
 
     def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
-        if ctx.is_test or ctx.is_benchmark or ctx.is_experiment:
+        if ctx.is_test or ctx.is_benchmark or ctx.is_script or ctx.is_experiment:
             return
         for node in ast.walk(ctx.tree):
             diag: Diagnostic | None = None
@@ -704,7 +708,7 @@ class TimerSubstrateRule:
     )
 
     def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
-        if ctx.is_test or ctx.is_benchmark or ctx.is_obs:
+        if ctx.is_test or ctx.is_benchmark or ctx.is_script or ctx.is_obs:
             return
         for node in ast.walk(ctx.tree):
             diag: Diagnostic | None = None
@@ -844,3 +848,30 @@ class FaultContainmentRule:
             )
             if diag is not None:
                 yield diag
+
+
+# ----------------------------------------------------------------------
+# Registry/docstring consistency
+# ----------------------------------------------------------------------
+
+
+def _assert_docstring_covers_registry(
+    doc: str | None, registry: dict[str, Rule]
+) -> None:
+    """Fail import if the module header understates the rule range.
+
+    The header once said "R1–R6" while R7/R8 existed, then "R1–R8" after
+    R9 landed. A plain ``raise`` (not ``assert`` — this must survive
+    ``-O``) keeps the docstring honest: adding R10 without touching the
+    header is an ImportError, not silent drift.
+    """
+    top = max(int(rule_id[1:]) for rule_id in registry)
+    expected = f"R1–R{top}"
+    if expected not in (doc or ""):
+        raise RuntimeError(
+            f"rules.py docstring is stale: the registry holds rules up to "
+            f"R{top}, so the header must mention {expected!r}"
+        )
+
+
+_assert_docstring_covers_registry(__doc__, REGISTRY)

@@ -10,11 +10,14 @@ A violation is waived by a comment on the offending line::
     for u in candidate_set:  # lint: order-ok accumulation is commutative
 
 The comment must start with ``lint:`` followed by one or more waiver
-slugs (``order-ok``, ``random-ok``, ``mutable-default-ok``,
-``float-eq-ok``, ``purity-ok``, ``clock-ok``, ``timer-ok``,
-``parallel-ok``, ``fault-ok``) and, by convention, a
-reason. Waivers are per-line and per-rule: they never silence a whole
-file, and an unknown slug is itself reported so typos cannot silently
+slugs and, by convention, a reason. The file rules' slugs
+(``order-ok``, ``random-ok``, ``mutable-default-ok``, ``float-eq-ok``,
+``purity-ok``, ``clock-ok``, ``timer-ok``, ``parallel-ok``,
+``fault-ok``) and the whole-program passes' slugs (``layer-ok``,
+``race-ok``, ``obs-ok``, ``ckpt-ok``) share one namespace; a single
+comment may carry several slugs (``# lint: fault-ok layer-ok ...``).
+Waivers are per-line and per-rule: they never silence a whole file,
+and an unknown slug is itself reported so typos cannot silently
 disable checking.
 """
 
@@ -26,7 +29,9 @@ import re
 import tokenize
 from pathlib import Path
 
+from repro.lint.cache import ParseCache
 from repro.lint.diagnostics import Diagnostic
+from repro.lint.passes import PASS_REGISTRY
 from repro.lint.rules import REGISTRY, LintContext, Rule, all_rules
 
 #: Path components that mark a file as test code (R2/R6 exempt).
@@ -35,9 +40,23 @@ _TEST_MARKERS = ("tests", "test")
 ORDER_SENSITIVE_DIRS: frozenset[str] = frozenset({"anchors", "core", "olak"})
 
 _WAIVER_RE = re.compile(r"#\s*lint:\s*(?P<body>.+)$")
-_SLUG_RE = re.compile(r"[a-z][a-z-]*-ok\b")
+_SLUG_RE = re.compile(r"[a-z][a-z-]*-ok")
+#: A token that *looks like* a slug attempt ("order-okay") but isn't one;
+#: reported rather than silently treated as reason text.
+_SLUG_ATTEMPT_RE = re.compile(r"[a-z][a-z-]*-ok[a-z-]*")
 
-KNOWN_SLUGS: frozenset[str] = frozenset(rule.slug for rule in REGISTRY.values())
+KNOWN_SLUGS: frozenset[str] = frozenset(
+    rule.slug for rule in REGISTRY.values()
+) | frozenset(program_pass.slug for program_pass in PASS_REGISTRY.values())
+
+
+#: Bump when the waiver grammar changes so cached waiver maps re-parse.
+_GRAMMAR_VERSION = 2
+
+
+def cache_fingerprint() -> str:
+    """Configuration token invalidating parse caches when slugs change."""
+    return f"v{_GRAMMAR_VERSION};" + ",".join(sorted(KNOWN_SLUGS))
 
 
 def parse_waivers(source: str, path: str) -> tuple[dict[int, set[str]], list[Diagnostic]]:
@@ -64,8 +83,19 @@ def parse_waivers(source: str, path: str) -> tuple[dict[int, set[str]], list[Dia
         if match is None:
             continue
         body = match.group("body")
-        slugs = set(_SLUG_RE.findall(body))
-        unknown = slugs - KNOWN_SLUGS
+        slugs: set[str] = set()
+        unknown: set[str] = set()
+        # Slugs lead the body; the first token that is not slug-shaped
+        # starts the free-text reason. A slug-shaped token that is not a
+        # known slug ("random-okay") is reported instead of silently
+        # becoming part of the reason.
+        for token in body.split():
+            if _SLUG_RE.fullmatch(token):
+                (slugs if token in KNOWN_SLUGS else unknown).add(token)
+            elif _SLUG_ATTEMPT_RE.fullmatch(token):
+                unknown.add(token)
+            else:
+                break
         if not slugs or unknown:
             detail = ", ".join(sorted(unknown)) if unknown else body.strip()
             problems.append(
@@ -102,6 +132,7 @@ def classify(path: Path, root: Path | None = None) -> dict[str, bool]:
     return {
         "is_test": is_test,
         "is_benchmark": "benchmarks" in parts[:-1] or name.startswith("bench_"),
+        "is_script": "scripts" in parts[:-1],
         "is_experiment": "experiments" in parts[:-1],
         "is_obs": "obs" in parts[:-1],
         "is_parallel": "parallel" in parts[:-1],
@@ -111,10 +142,22 @@ def classify(path: Path, root: Path | None = None) -> dict[str, bool]:
     }
 
 
+def parse_module(
+    source: str, path: "str | Path"
+) -> tuple[ast.Module, dict[int, set[str]], list[Diagnostic]]:
+    """Parse products of one module: AST, waiver map, waiver problems.
+
+    This is the unit of work the parse cache stores — everything
+    derived from the file's bytes alone, nothing role- or rule-shaped.
+    """
+    tree = ast.parse(source, filename=str(path))
+    waivers, problems = parse_waivers(source, str(path))
+    return tree, waivers, problems
+
+
 def build_context(source: str, path: str, **roles: bool) -> tuple[LintContext, list[Diagnostic]]:
     """Parse ``source`` into a lint context (plus waiver-syntax problems)."""
-    tree = ast.parse(source, filename=path)
-    waivers, problems = parse_waivers(source, path)
+    tree, waivers, problems = parse_module(source, path)
     ctx = LintContext(
         path=path,
         tree=tree,
@@ -138,6 +181,7 @@ def lint_source(
     """
     roles.setdefault("is_test", False)
     roles.setdefault("is_benchmark", False)
+    roles.setdefault("is_script", False)
     roles.setdefault("is_experiment", False)
     roles.setdefault("is_obs", False)
     roles.setdefault("is_parallel", False)
@@ -172,11 +216,14 @@ def lint_paths(
     paths: list[Path],
     rules: list[Rule] | None = None,
     root: Path | None = None,
+    cache: ParseCache | None = None,
 ) -> list[Diagnostic]:
     """Lint every python file under ``paths``; diagnostics sorted by location.
 
     Files that fail to parse produce a single ``R0`` syntax diagnostic
-    rather than aborting the run.
+    rather than aborting the run. When a :class:`ParseCache` is given,
+    unchanged files reuse their stored AST and waiver map instead of
+    being re-parsed; rules still run on every file.
     """
     if root is None:
         root = Path.cwd()
@@ -189,19 +236,31 @@ def lint_paths(
         rel_str = rel.as_posix()
         source = file_path.read_text(encoding="utf-8")
         roles = classify(file_path, root)
-        try:
-            ctx, problems = build_context(source, rel_str, **roles)
-        except SyntaxError as exc:
-            diagnostics.append(
-                Diagnostic(
-                    path=rel_str,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 1) - 1,
-                    rule="R0",
-                    message=f"file does not parse: {exc.msg}",
+        products = cache.get(file_path) if cache is not None else None
+        if products is None:
+            try:
+                products = parse_module(source, rel_str)
+            except SyntaxError as exc:
+                diagnostics.append(
+                    Diagnostic(
+                        path=rel_str,
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1,
+                        rule="R0",
+                        message=f"file does not parse: {exc.msg}",
+                    )
                 )
-            )
-            continue
+                continue
+            if cache is not None:
+                cache.put(file_path, *products)
+        tree, waivers, problems = products
+        ctx = LintContext(
+            path=rel_str,
+            tree=tree,
+            lines=source.splitlines(),
+            waivers=waivers,
+            **roles,
+        )
         diagnostics.extend(problems)
         for rule in rules if rules is not None else all_rules():
             diagnostics.extend(rule.check(ctx))

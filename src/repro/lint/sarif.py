@@ -1,0 +1,246 @@
+"""SARIF 2.1.0 export for lint diagnostics.
+
+Emits the minimal standards-conformant document GitHub code scanning
+ingests: one run, one tool driver listing every rule/pass that can
+fire, and one result per diagnostic with a physical location, the
+offending code snippet under ``properties.code``, and a stable partial
+fingerprint so re-runs update rather than duplicate alerts.
+
+:func:`from_sarif` inverts the export so tests can assert the SARIF
+document round-trips the exact diagnostic set of the JSON exporter,
+and :func:`validate` structurally checks a document against the parts
+of the 2.1.0 schema we rely on — the container has no network access
+and no JSON-Schema library, so the check is hand-rolled but strict
+about everything GitHub's ingester requires.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.lint.diagnostics import Diagnostic
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+
+
+def _fingerprint(diag: Diagnostic) -> str:
+    payload = f"{diag.path}|{diag.rule}|{diag.code}|{diag.message}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+def _rule_descriptors(diagnostics: list[Diagnostic]) -> list[dict[str, object]]:
+    """Every known rule and pass, plus any unknown ids seen in results."""
+    from repro.lint.passes import PASS_REGISTRY
+    from repro.lint.rules import REGISTRY
+
+    descriptors: dict[str, dict[str, object]] = {}
+    for rule_id, rule in sorted(REGISTRY.items()):
+        descriptors[rule_id] = {
+            "id": rule_id,
+            "name": type(rule).__name__,
+            "shortDescription": {"text": rule.summary},
+            "properties": {"waiverSlug": rule.slug, "scope": "file"},
+        }
+    for pass_id, program_pass in sorted(PASS_REGISTRY.items()):
+        descriptors[pass_id] = {
+            "id": pass_id,
+            "name": type(program_pass).__name__,
+            "shortDescription": {"text": program_pass.summary},
+            "properties": {"waiverSlug": program_pass.slug, "scope": "program"},
+        }
+    for diag in diagnostics:
+        descriptors.setdefault(
+            diag.rule,
+            {
+                "id": diag.rule,
+                "name": diag.rule,
+                "shortDescription": {"text": diag.rule},
+                "properties": {"scope": "file"},
+            },
+        )
+    return [descriptors[rule_id] for rule_id in sorted(descriptors)]
+
+
+def to_sarif(diagnostics: list[Diagnostic]) -> dict[str, object]:
+    """The diagnostics as one SARIF 2.1.0 document (a JSON-able dict)."""
+    ordered = sorted(diagnostics)
+    results: list[dict[str, object]] = []
+    for diag in ordered:
+        results.append(
+            {
+                "ruleId": diag.rule,
+                "level": "error",
+                "message": {"text": diag.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": Path(diag.path).as_posix(),
+                            },
+                            "region": {
+                                "startLine": max(1, diag.line),
+                                "startColumn": max(1, diag.col + 1),
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {
+                    "reproLint/v1": _fingerprint(diag),
+                },
+                "properties": {"code": diag.code, "col": diag.col},
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": _rule_descriptors(ordered),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def from_sarif(document: dict[str, object]) -> list[Diagnostic]:
+    """Rebuild the diagnostic list from a document made by :func:`to_sarif`."""
+    diagnostics: list[Diagnostic] = []
+    runs = document.get("runs")
+    if not isinstance(runs, list):
+        raise ValueError("SARIF document has no runs")
+    for run in runs:
+        for result in run.get("results", []):
+            location = result["locations"][0]["physicalLocation"]
+            region = location.get("region", {})
+            properties = result.get("properties", {})
+            diagnostics.append(
+                Diagnostic(
+                    path=location["artifactLocation"]["uri"],
+                    line=int(region.get("startLine", 1)),
+                    col=int(properties.get("col", 0)),
+                    rule=str(result["ruleId"]),
+                    message=str(result["message"]["text"]),
+                    code=str(properties.get("code", "")),
+                )
+            )
+    return sorted(diagnostics)
+
+
+def write_sarif(diagnostics: list[Diagnostic], path: Path) -> None:
+    document = to_sarif(diagnostics)
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def validate(document: object) -> list[str]:
+    """Structural 2.1.0 conformance problems (empty list = valid).
+
+    Checks the invariants GitHub code scanning and the SARIF 2.1.0
+    schema both require of the subset we emit: version string, runs
+    array, tool driver with a name, rule descriptors with string ids,
+    and for every result a ruleId, a message with text, and physical
+    locations with a uri and a 1-based region.
+    """
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return ["document is not a JSON object"]
+    if document.get("version") != SARIF_VERSION:
+        problems.append(
+            f"version must be {SARIF_VERSION!r}, got {document.get('version')!r}"
+        )
+    runs = document.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return problems + ["runs must be a non-empty array"]
+    for run_index, run in enumerate(runs):
+        where = f"runs[{run_index}]"
+        if not isinstance(run, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        driver = run.get("tool", {}).get("driver") if isinstance(
+            run.get("tool"), dict
+        ) else None
+        if not isinstance(driver, dict) or not isinstance(
+            driver.get("name"), str
+        ):
+            problems.append(f"{where}.tool.driver.name must be a string")
+            driver = {}
+        rule_ids: set[str] = set()
+        for rule_index, rule in enumerate(driver.get("rules", [])):
+            if not isinstance(rule, dict) or not isinstance(
+                rule.get("id"), str
+            ):
+                problems.append(
+                    f"{where}.tool.driver.rules[{rule_index}].id must be a string"
+                )
+                continue
+            rule_ids.add(rule["id"])
+        results = run.get("results")
+        if not isinstance(results, list):
+            problems.append(f"{where}.results must be an array")
+            continue
+        for result_index, result in enumerate(results):
+            spot = f"{where}.results[{result_index}]"
+            if not isinstance(result, dict):
+                problems.append(f"{spot} is not an object")
+                continue
+            rule_id = result.get("ruleId")
+            if not isinstance(rule_id, str) or not rule_id:
+                problems.append(f"{spot}.ruleId must be a non-empty string")
+            elif rule_ids and rule_id not in rule_ids:
+                problems.append(
+                    f"{spot}.ruleId {rule_id!r} is not declared in "
+                    "tool.driver.rules"
+                )
+            message = result.get("message")
+            if not isinstance(message, dict) or not isinstance(
+                message.get("text"), str
+            ):
+                problems.append(f"{spot}.message.text must be a string")
+            locations = result.get("locations")
+            if not isinstance(locations, list) or not locations:
+                problems.append(f"{spot}.locations must be a non-empty array")
+                continue
+            for loc_index, location in enumerate(locations):
+                mark = f"{spot}.locations[{loc_index}].physicalLocation"
+                physical = (
+                    location.get("physicalLocation")
+                    if isinstance(location, dict)
+                    else None
+                )
+                if not isinstance(physical, dict):
+                    problems.append(f"{mark} missing")
+                    continue
+                artifact = physical.get("artifactLocation")
+                if not isinstance(artifact, dict) or not isinstance(
+                    artifact.get("uri"), str
+                ):
+                    problems.append(f"{mark}.artifactLocation.uri must be a string")
+                region = physical.get("region")
+                if region is not None:
+                    if not isinstance(region, dict):
+                        problems.append(f"{mark}.region is not an object")
+                        continue
+                    for bound in ("startLine", "startColumn"):
+                        value = region.get(bound)
+                        if value is not None and (
+                            not isinstance(value, int) or value < 1
+                        ):
+                            problems.append(
+                                f"{mark}.region.{bound} must be a positive "
+                                "integer"
+                            )
+    return problems

@@ -75,11 +75,11 @@ def _attach_untracked(name: str) -> shared_memory.SharedMemory:
     type checker; attach runs single-threaded in each worker.
     """
     original = resource_tracker.register
-    setattr(resource_tracker, "register", _register_noop)
+    setattr(resource_tracker, "register", _register_noop)  # lint: race-ok reversed below, attach-time only
     try:
         return shared_memory.SharedMemory(name=name)
     finally:
-        setattr(resource_tracker, "register", original)
+        setattr(resource_tracker, "register", original)  # lint: race-ok restores the patched hook
 
 
 def _destroy(shm: shared_memory.SharedMemory, owner_pid: int) -> None:
@@ -172,7 +172,7 @@ class AttachedCSR:
             pass
 
 
-def attach(handle: SharedCSRHandle) -> AttachedCSR:
+def attach(handle: SharedCSRHandle) -> AttachedCSR:  # lint: obs-ok runs before worker obs exists
     """Map an exported CSR view back into this process, zero-copy.
 
     Raises:

@@ -21,7 +21,9 @@ ENV_WORKERS = "REPRO_PARALLEL"
 ENV_START = "REPRO_PARALLEL_START"
 
 
-def bucket_h_index(values: Sequence[int]) -> int:
+def bucket_h_index(  # lint: obs-ok pure O(n) arithmetic
+    values: Sequence[int],
+) -> int:
     """The largest ``h`` such that at least ``h`` values are ``>= h``.
 
     O(len) counting-sort formulation: a value ``v`` can only support
@@ -45,7 +47,9 @@ def bucket_h_index(values: Sequence[int]) -> int:
     return 0
 
 
-def chunked(items: Sequence[T], size: int) -> Iterator[Sequence[T]]:
+def chunked(  # lint: obs-ok pure slicing generator
+    items: Sequence[T], size: int
+) -> Iterator[Sequence[T]]:
     """Successive slices of ``items`` of length ``size`` (last may be short)."""
     if size <= 0:
         raise ValueError(f"chunk size must be positive, got {size}")
@@ -53,7 +57,9 @@ def chunked(items: Sequence[T], size: int) -> Iterator[Sequence[T]]:
         yield items[start : start + size]
 
 
-def resolve_workers(workers: int | None) -> int:
+def resolve_workers(  # lint: obs-ok trivial config resolution
+    workers: int | None,
+) -> int:
     """Effective worker count: the explicit argument, else ``REPRO_PARALLEL``.
 
     ``None`` defers to the environment; absent, empty, unparsable, or

@@ -1,0 +1,24 @@
+"""Seeded L4 violations: checkpoint payload fields wired on one side only."""
+
+
+class Checkpoint:
+    def __init__(self, algo: str, payload: dict[str, object]) -> None:
+        self.algo = algo
+        self.payload = payload
+
+
+def save_round(anchors: list[int], gains: dict[int, int]) -> Checkpoint:
+    payload: dict[str, object] = {
+        "anchors": list(anchors),  # negative control: read back on resume
+        "gains": dict(gains),  # negative control: read back on resume
+        "orphaned": [],  # L4: written but never consumed on resume
+    }
+    return Checkpoint(algo="demo", payload=payload)
+
+
+def resume_round(snapshot: Checkpoint) -> tuple[object, object, object]:
+    payload = snapshot.payload
+    anchors = payload["anchors"]
+    gains = payload["gains"]
+    phantom = payload["phantom"]  # L4: consumed but never written
+    return anchors, gains, phantom

@@ -1,0 +1,5 @@
+"""Application-layer module the foundation layer illegally reaches into."""
+
+
+def helper_entry() -> int:
+    return 1

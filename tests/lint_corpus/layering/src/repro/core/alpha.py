@@ -1,0 +1,7 @@
+"""Seeded L1 violation: one half of an eager import cycle."""
+
+from repro.core import beta
+
+
+def a_step() -> int:
+    return beta.b_step() + 1

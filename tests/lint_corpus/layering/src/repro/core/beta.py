@@ -1,0 +1,7 @@
+"""Seeded L1 violation: the other half of the eager import cycle."""
+
+from repro.core import alpha
+
+
+def b_step() -> int:
+    return len(alpha.__name__)

@@ -1,0 +1,3 @@
+"""Foundation-layer peer used as the negative control."""
+
+BASELINE = 0

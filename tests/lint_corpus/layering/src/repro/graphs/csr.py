@@ -1,0 +1,9 @@
+"""Seeded L1 violation: a layer-0 module eagerly imports layer 4."""
+
+from repro.cli import helper_entry
+
+from repro import errors  # negative control: layer 0 -> layer 0 is fine
+
+
+def build() -> int:
+    return helper_entry() + errors.BASELINE

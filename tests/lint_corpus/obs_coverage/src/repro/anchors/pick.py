@@ -1,0 +1,33 @@
+"""Seeded L3 violation: a hot-path public function with no obs hook."""
+
+from repro import obs as _obs
+
+
+def instrumented_choice(candidates: list[int]) -> list[int]:
+    # Negative control: opens a span, so L3 must stay quiet.
+    with _obs.span("anchors.pick"):
+        return sorted(candidates)
+
+
+def counted_choice(candidates: list[int]) -> list[int]:
+    # Negative control: bumps a registry counter through a helper.
+    _bump()
+    return sorted(candidates)
+
+
+def naked_choice(candidates: list[int]) -> list[int]:
+    # L3: public, hot unit, no span, no counter, no waiver.
+    return sorted(candidates)
+
+
+def waived_choice(candidates: list[int]) -> list[int]:  # lint: obs-ok corpus negative control
+    return sorted(candidates)
+
+
+def _private_helper(candidates: list[int]) -> int:
+    # Negative control: private functions are out of scope for L3.
+    return len(candidates)
+
+
+def _bump() -> None:
+    _obs.add("anchors.pick.calls", 1)

@@ -1,0 +1,13 @@
+"""Entry-point module: hands worker functions to a process pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.parallel import worker as _worker
+
+
+def scan(payloads: list[int]) -> list[int]:
+    with ProcessPoolExecutor(
+        max_workers=2,
+        initializer=_worker.init_worker,
+    ) as pool:
+        return list(pool.map(_worker.evaluate, payloads))

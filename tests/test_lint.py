@@ -232,6 +232,52 @@ class TestWaivers:
         assert "R0" in fired  # the typo itself is a finding
         assert "R1" in fired  # and the violation stays unwaived
 
+    def test_multi_slug_waiver_covers_both_rules(self):
+        source = (
+            "import random\n"
+            "\n"
+            "\n"
+            "def collect(seeds):\n"
+            "    reached = set(seeds)\n"
+            "    out = []\n"
+            "    for u in reached: out.append(u + random.random())"
+            "  # lint: order-ok random-ok both deliberate\n"
+            "    return out\n"
+        )
+        assert lint_source(source) == []
+
+    def test_unknown_slug_inside_multi_slug_waiver_errors(self):
+        # The known slug still waives its rule, but the typo'd one is
+        # reported and its rule stays live — no silent suppression.
+        source = (
+            "import random\n"
+            "\n"
+            "\n"
+            "def collect(seeds):\n"
+            "    reached = set(seeds)\n"
+            "    out = []\n"
+            "    for u in reached: out.append(u + random.random())"
+            "  # lint: order-ok random-okay typo\n"
+            "    return out\n"
+        )
+        fired = {d.rule for d in lint_source(source)}
+        assert fired == {"R0", "R1", "R2"}
+
+    def test_waiver_parsed_on_decorator_line(self):
+        from repro.lint.runner import parse_waivers
+
+        source = (
+            "import functools\n"
+            "\n"
+            "\n"
+            "@functools.lru_cache(maxsize=None)  # lint: obs-ok pure\n"
+            "def pick(n):\n"
+            "    return n + 1\n"
+        )
+        waivers, problems = parse_waivers(source, "x.py")
+        assert problems == []
+        assert waivers[4] == {"obs-ok"}
+
 
 class TestRoles:
     def test_r1_only_in_order_sensitive_modules(self):
@@ -301,6 +347,16 @@ class TestRoles:
         assert roles["is_checkpoint"] and not roles["is_faults"]
         roles = classify(Path("src/repro/anchors/gac.py"))
         assert not roles["is_faults"] and not roles["is_checkpoint"]
+        roles = classify(Path("scripts/paper_scale.py"))
+        assert roles["is_script"] and not roles["is_test"]
+        roles = classify(Path("src/repro/anchors/gac.py"))
+        assert not roles["is_script"]
+
+    def test_r6_and_r7_exempt_in_scripts(self):
+        # scripts/ are operator tooling: wall-clock and raw timers are fine.
+        for rule_id in ("R6", "R7"):
+            violating, _ = FIXTURES[rule_id]
+            assert lint_source(violating, is_script=True) == []
 
 
 def test_json_output_round_trip():
