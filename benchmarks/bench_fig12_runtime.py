@@ -5,13 +5,18 @@ by a wide margin — feasible only on the smallest dataset, like in the
 paper — and the engineered variants order GAC <= GAC-U <= GAC-U-R.
 
 A second test times the parallel candidate scan against the serial one
-and writes ``BENCH_gac.json`` at the repository root (schema-2
-:class:`~repro.experiments.reporting.PerfBaseline`): per worker count,
-the summed ``gac.candidate_scan`` span seconds and the whole-run
-wall-clock, serial vs parallel. Result identity is asserted on every
-run — the parallel scan is a wall-clock knob, never a results knob —
-while the speedup gate only applies off-smoke on machines with enough
-cores to actually run the workers concurrently.
+and writes ``BENCH_gac.json`` at the repository root (schema-3
+:class:`~repro.experiments.reporting.PerfBaseline` with honest
+``serial_s`` / ``parallel_s`` column labels and the runner's
+``host_cores``): per worker count, the summed ``gac.candidate_scan``
+span seconds and the whole-run wall-clock, serial vs parallel, each
+best-of-:data:`GAC_BEST_OF` repeats off-smoke so speedup claims aren't
+single-run noise. Result identity is asserted on every repeat — the
+parallel scan is a wall-clock knob, never a results knob — while the
+speedup gate only applies off-smoke on machines with enough cores to
+actually run the workers concurrently
+(``scripts/check_gac_regression.py`` applies the same gate against the
+committed trajectory in CI).
 
 Environment knobs (parallel-scan baseline only):
     REPRO_BENCH_SMOKE=1     small replica + tiny budget (the CI mode)
@@ -39,6 +44,7 @@ GAC_DATASET = os.environ.get(
 )
 GAC_BUDGET = 2 if SMOKE else 6
 GAC_WORKER_COUNTS = (2,) if SMOKE else (2, 4)
+GAC_BEST_OF = 1 if SMOKE else 3
 _DEFAULT_GAC_OUT = Path(__file__).resolve().parent.parent / "BENCH_gac.json"
 GAC_OUT_PATH = Path(os.environ.get("REPRO_BENCH_GAC_OUT", _DEFAULT_GAC_OUT))
 
@@ -91,6 +97,25 @@ def _gac_scan_run(workers):
     return result, wall, stats["gac.candidate_scan"].total_s
 
 
+def _best_gac_runs(workers, reference=None):
+    """Best-of-``GAC_BEST_OF`` (wall, scan) seconds for one worker count.
+
+    Identity against ``reference`` (the serial result tuple) is asserted
+    on *every* repeat, not just the fastest — a nondeterministic run must
+    never hide behind a better-timed sibling.
+    """
+    walls, scans = [], []
+    result_tuple = None
+    for _ in range(GAC_BEST_OF):
+        result, wall, scan = _gac_scan_run(workers=workers)
+        result_tuple = _result_tuple(result)
+        if reference is not None:
+            assert result_tuple == reference, workers
+        walls.append(wall)
+        scans.append(scan)
+    return result_tuple, min(walls), min(scans)
+
+
 def _run_gac_baseline():
     graph = registry.load(GAC_DATASET)
     baseline = PerfBaseline(
@@ -99,30 +124,33 @@ def _run_gac_baseline():
         num_vertices=graph.num_vertices,
         num_edges=graph.num_edges,
         mode="smoke" if SMOKE else "full",
-        best_of=1,
+        best_of=GAC_BEST_OF,
+        labels=("serial_s", "parallel_s"),
+        host_cores=len(os.sched_getaffinity(0)),
     )
-    serial, serial_wall, serial_scan = _gac_scan_run(workers=0)
+    serial_tuple, serial_wall, serial_scan = _best_gac_runs(workers=0)
     for workers in GAC_WORKER_COUNTS:
-        parallel, parallel_wall, parallel_scan = _gac_scan_run(workers=workers)
         # The determinism contract holds unconditionally — before any
-        # timing is recorded, the parallel run must reproduce the serial
-        # GreedyResult byte for byte, Figure-13 counters included.
-        assert _result_tuple(parallel) == _result_tuple(serial), workers
+        # timing is recorded, every parallel repeat must reproduce the
+        # serial GreedyResult byte for byte, Figure-13 counters included.
+        _, parallel_wall, parallel_scan = _best_gac_runs(
+            workers=workers, reference=serial_tuple
+        )
         baseline.record(f"candidate_scan_w{workers}", serial_scan, parallel_scan)
         baseline.record(f"gac_total_w{workers}", serial_wall, parallel_wall)
     baseline.notes.append(
-        "dict_s = serial (workers=0) seconds, csr_s = parallel seconds; "
-        "candidate_scan_w* sums the gac.candidate_scan span, gac_total_w* "
-        "is the whole greedy run"
+        "serial_s = serial (workers=0) seconds, parallel_s = parallel "
+        "seconds; candidate_scan_w* sums the gac.candidate_scan span, "
+        "gac_total_w* is the whole greedy run"
     )
     baseline.notes.append(
-        f"budget={GAC_BUDGET}; parallel results asserted identical to serial "
-        "before recording"
+        f"budget={GAC_BUDGET}; every parallel repeat asserted identical to "
+        "serial before recording"
     )
     baseline.notes.append(
-        f"host cores={len(os.sched_getaffinity(0))}; below the worker count, "
-        "processes time-slice and speedup < 1 is expected (dispatch overhead, "
-        "no concurrency)"
+        "host_cores below the worker count means processes time-slice and "
+        "speedup < 1 is expected (dispatch overhead, no concurrency); the "
+        "CI gate only applies at host_cores >= 4"
     )
     baseline.write(GAC_OUT_PATH)
     return baseline

@@ -1,0 +1,135 @@
+"""CI gate: the parallel candidate scan must not regress below baseline.
+
+Compares a freshly benchmarked ``BENCH_gac.json`` (written by
+``benchmarks/bench_fig12_runtime.py::test_gac_parallel_scan_baseline``
+with ``REPRO_BENCH_GAC_OUT`` pointing somewhere new) against the
+trajectory committed at the repository root — the same pattern as the
+CSR-vs-dict check in ``bench_perf_substrate.py``, but across commits
+instead of within one run.
+
+Gate logic (honest about hardware):
+
+* the gate only *applies* when the fresh run's ``host_cores`` is at
+  least ``--min-cores`` (default 4) — with fewer cores the workers
+  time-slice and the measurement says nothing about the scan;
+* the floor is ``--floor`` (default 1.5×, the acceptance criterion);
+* when the committed file was itself produced on a gate-eligible host,
+  its recorded speedup (minus ``--tolerance`` runner noise, default
+  10%) raises the floor — the trajectory may only move up. A committed
+  baseline from a starved host (like the 1-core seed measurement)
+  contributes nothing, so the fixed floor carries the gate.
+
+Exit status: 0 pass / skipped-not-applicable, 1 regression, 2 bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments.reporting import PerfBaseline
+
+
+def _speedup(baseline: PerfBaseline, primitive: str) -> float | None:
+    value = baseline.speedup(primitive)
+    return value if isinstance(value, float) and value > 0 else None
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", type=Path, help="freshly benchmarked BENCH_gac.json")
+    parser.add_argument(
+        "--committed",
+        type=Path,
+        default=Path("BENCH_gac.json"),
+        help="committed trajectory to gate against (default: ./BENCH_gac.json)",
+    )
+    parser.add_argument(
+        "--primitive",
+        default="candidate_scan_w4",
+        help="baseline entry to gate (default: candidate_scan_w4)",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=1.5,
+        help="minimum acceptable speedup on a gate-eligible host (default: 1.5)",
+    )
+    parser.add_argument(
+        "--min-cores",
+        type=int,
+        default=4,
+        help="host cores below which the gate is not applicable (default: 4)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="fractional runner-noise allowance vs the committed speedup",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        fresh = PerfBaseline.load(args.fresh)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"check_gac_regression: cannot read fresh baseline: {exc}")
+        return 2
+
+    cores = fresh.host_cores
+    if cores is None or cores < args.min_cores:
+        print(
+            f"check_gac_regression: SKIP — fresh run has host_cores={cores} "
+            f"(< {args.min_cores}); workers time-slice, speedup is meaningless"
+        )
+        return 0
+
+    speedup = _speedup(fresh, args.primitive)
+    if speedup is None:
+        print(
+            f"check_gac_regression: FAIL — {args.primitive} missing from "
+            f"{args.fresh} (recorded: "
+            f"{sorted(e.get('primitive') for e in fresh.primitives)})"
+        )
+        return 1
+
+    floor = args.floor
+    committed_note = "no committed gate-eligible baseline"
+    if args.committed.exists():
+        try:
+            committed = PerfBaseline.load(args.committed)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"check_gac_regression: cannot read committed baseline: {exc}")
+            return 2
+        committed_speedup = _speedup(committed, args.primitive)
+        committed_cores = committed.host_cores
+        if (
+            committed_speedup is not None
+            and committed_cores is not None
+            and committed_cores >= args.min_cores
+        ):
+            trajectory = committed_speedup * (1.0 - args.tolerance)
+            if trajectory > floor:
+                floor = trajectory
+            committed_note = (
+                f"committed {args.primitive}={committed_speedup:.3f}x "
+                f"on {committed_cores} cores"
+            )
+        else:
+            committed_note = (
+                f"committed baseline not gate-eligible "
+                f"(host_cores={committed_cores}, "
+                f"speedup={committed_speedup})"
+            )
+
+    verdict = "PASS" if speedup >= floor else "FAIL"
+    print(
+        f"check_gac_regression: {verdict} — {args.primitive} "
+        f"{speedup:.3f}x on {cores} cores (floor {floor:.3f}x; "
+        f"{committed_note})"
+    )
+    return 0 if verdict == "PASS" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

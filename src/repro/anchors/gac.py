@@ -72,11 +72,6 @@ _clock = _obs.clock
 #: Module attribute so tests can force pools onto tiny graphs.
 _MIN_PARALLEL_CANDIDATES = 64
 
-#: Candidates dispatched per worker between threshold barriers when
-#: upper-bound pruning is on. Larger chunks amortize IPC; smaller ones
-#: bound the speculative evaluations past the serial scan's stop point.
-_CHUNK_PER_WORKER = 8
-
 
 @dataclass
 class IterationTrace:
@@ -333,6 +328,13 @@ def _run_greedy(
         pool = _make_pool(
             graph, workers, follower_method, graph.num_vertices - len(initial)
         )
+    # Anchor lineage in application order: sorted initial anchors, then
+    # selections as they happen. Workers key their persistent state
+    # caches on it — a lineage that merely *extends* the previous round's
+    # replays incremental anchor deltas instead of a full rebuild. Only
+    # the underlying set matters for correctness; the order is purely a
+    # cache key.
+    initial_sorted = tuple(sorted(initial, key=_sort_key))
 
     try:
         while len(result.anchors) < budget:
@@ -353,6 +355,7 @@ def _run_greedy(
                     rng=rng,
                     deadline=deadline,
                     pool=pool,
+                    lineage=initial_sorted + tuple(result.anchors),
                 )
                 if pool is not None and pool.broken:
                     # A worker died or a dispatch failed: the scan already
@@ -534,6 +537,7 @@ def _select_best(
     rng: random.Random,
     deadline: float | None = None,
     pool: "CandidateScanPool | None" = None,
+    lineage: tuple[Vertex, ...] = (),
 ) -> tuple[Vertex | None, int, bool]:
     """One greedy iteration: the candidate with the best marginal gain.
 
@@ -584,6 +588,7 @@ def _select_best(
                 node_k=node_k,
                 base_coreness=base_coreness,
                 deadline=deadline,
+                lineage=lineage,
             )
             if outcome is not None:
                 return outcome
@@ -667,6 +672,7 @@ def _scan_parallel(
     node_k: dict[NodeId, int],
     base_coreness: dict[Vertex, int],
     deadline: float | None,
+    lineage: tuple[Vertex, ...] = (),
 ) -> tuple[Vertex | None, int, bool] | None:
     """Dispatch the candidate scan to the pool, then replay the serial merge.
 
@@ -689,11 +695,20 @@ def _scan_parallel(
     iteration window, so Figure 13 totals match the serial scan's.
     """
     epoch = len(state.anchors)
-    anchors = tuple(sorted(state.anchors, key=_sort_key))
-    coreness = state.decomposition.coreness
-    chunk_size = (
-        max(16, _CHUNK_PER_WORKER * pool.workers) if use_upper_bounds else len(order)
+    # The lineage is the cache key workers use; its *set* is what
+    # evaluation depends on. A caller that did not thread one (tests
+    # driving the scan directly) degrades to a sorted tuple — workers
+    # fall back to full rebuilds, results unchanged.
+    anchors = (
+        lineage
+        if len(lineage) == len(state.anchors) and frozenset(lineage) == state.anchors
+        else tuple(sorted(state.anchors, key=_sort_key))
     )
+    coreness = state.decomposition.coreness
+    # The speculative window between threshold barriers adapts to the
+    # pool's measured per-task latency; window size steers wall-clock
+    # only (the replay discards speculative extras), never results.
+    chunk_size = pool.dispatch_size() if use_upper_bounds else len(order)
     # candidate -> (marginal gain, per-node counts | None, counter deltas)
     evaluated: dict[Vertex, tuple[int, dict[NodeId, int] | None, dict[str, int]]] = {}
     reusable_of: dict[Vertex, dict[NodeId, int] | None] = {}

@@ -122,15 +122,20 @@ def _jsonable(value: object) -> object:
 
 @dataclass
 class PerfBaseline:
-    """Machine-readable perf baseline for the substrate fast path.
+    """Machine-readable perf baseline for A/B wall-clock comparisons.
 
-    Serialized to ``BENCH_substrate.json`` at the repository root by
-    ``benchmarks/bench_perf_substrate.py``: one entry per substrate
-    primitive holding the dict-path and CSR-path wall-clock (best of
+    Serialized to ``BENCH_substrate.json`` / ``BENCH_gac.json`` at the
+    repository root by the benches: one entry per measured primitive
+    holding the baseline-path and fast-path wall-clock (best of
     ``best_of`` repeats) and the resulting speedup, plus the replica's
-    sizes so timings can be normalized. ``schema`` is bumped whenever
-    the JSON layout changes so downstream consumers can detect drift
-    (2: added the ``phases`` per-phase breakdown from ``repro.obs``).
+    sizes so timings can be normalized. ``labels`` names the two
+    measured columns — the substrate bench keeps the historical
+    ``("dict_s", "csr_s")``, the GAC bench uses
+    ``("serial_s", "parallel_s")`` so the entry keys say what was
+    actually timed. ``schema`` is bumped whenever the JSON layout
+    changes so downstream consumers can detect drift (2: added the
+    ``phases`` per-phase breakdown from ``repro.obs``; 3: explicit
+    ``labels`` column names and ``host_cores``).
     """
 
     name: str
@@ -139,19 +144,25 @@ class PerfBaseline:
     num_edges: int
     mode: str = "full"
     best_of: int = 1
-    schema: int = 2
+    schema: int = 3
+    labels: tuple[str, str] = ("dict_s", "csr_s")
+    host_cores: int | None = None
     csr_build_s: float | None = None
     primitives: list[dict[str, object]] = field(default_factory=list)
     phases: list[dict[str, object]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
 
-    def record(self, primitive: str, dict_s: float, csr_s: float) -> dict[str, object]:
-        """Append one primitive's timings; speedup is ``dict_s / csr_s``."""
+    def record(self, primitive: str, base_s: float, fast_s: float) -> dict[str, object]:
+        """Append one primitive's timings; speedup is ``base_s / fast_s``.
+
+        The two timings land under the column names in :attr:`labels`.
+        """
+        base_label, fast_label = self.labels
         entry: dict[str, object] = {
             "primitive": primitive,
-            "dict_s": round(dict_s, 6),
-            "csr_s": round(csr_s, 6),
-            "speedup": round(dict_s / csr_s, 3) if csr_s > 0 else None,
+            base_label: round(base_s, 6),
+            fast_label: round(fast_s, 6),
+            "speedup": round(base_s / fast_s, 3) if fast_s > 0 else None,
         }
         self.primitives.append(entry)
         return entry
@@ -166,15 +177,16 @@ class PerfBaseline:
 
     def as_table(self) -> Table:
         """A printable view of the recorded primitives."""
+        base_label, fast_label = self.labels
         table = Table(
-            title=f"substrate perf baseline — {self.dataset} "
+            title=f"perf baseline — {self.dataset} "
             f"(n={self.num_vertices}, m={self.num_edges}, "
             f"best of {self.best_of}, {self.mode})",
-            headers=["primitive", "dict_s", "csr_s", "speedup"],
+            headers=["primitive", base_label, fast_label, "speedup"],
         )
         for entry in self.primitives:
             table.rows.append(
-                [entry["primitive"], entry["dict_s"], entry["csr_s"], entry["speedup"]]
+                [entry["primitive"], entry[base_label], entry[fast_label], entry["speedup"]]
             )
         return table
 
@@ -189,6 +201,8 @@ class PerfBaseline:
                 "num_edges": self.num_edges,
             },
             "best_of": self.best_of,
+            "labels": list(self.labels),
+            "host_cores": self.host_cores,
             "csr_build_s": self.csr_build_s,
             "primitives": self.primitives,
             "phases": self.phases,
@@ -200,3 +214,36 @@ class PerfBaseline:
         """Persist the JSON payload (trailing newline included)."""
         path.write_text(self.to_json() + "\n", encoding="utf-8")
         return path
+
+    @classmethod
+    def load(cls, path: Path) -> "PerfBaseline":
+        """Rehydrate a baseline written by :meth:`write`.
+
+        Accepts schema 2 (implicit ``dict_s``/``csr_s`` columns, no
+        ``host_cores``) and schema 3; anything else raises
+        ``ValueError`` so CI gates fail loudly on drift rather than
+        comparing mislabeled columns.
+        """
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        schema = payload.get("schema")
+        if schema not in (2, 3):
+            raise ValueError(f"unsupported PerfBaseline schema {schema!r} in {path}")
+        labels = payload.get("labels", ["dict_s", "csr_s"])
+        if not (isinstance(labels, list) and len(labels) == 2):
+            raise ValueError(f"malformed labels {labels!r} in {path}")
+        dataset = payload.get("dataset", {})
+        return cls(
+            name=payload["name"],
+            dataset=dataset.get("name", ""),
+            num_vertices=int(dataset.get("num_vertices", 0)),
+            num_edges=int(dataset.get("num_edges", 0)),
+            mode=payload.get("mode", "full"),
+            best_of=int(payload.get("best_of", 1)),
+            schema=int(schema),
+            labels=(str(labels[0]), str(labels[1])),
+            host_cores=payload.get("host_cores"),
+            csr_build_s=payload.get("csr_build_s"),
+            primitives=list(payload.get("primitives", [])),
+            phases=list(payload.get("phases", [])),
+            notes=list(payload.get("notes", [])),
+        )

@@ -56,7 +56,15 @@ _MUTATORS = frozenset(
 
 #: Annotation names marking a parameter as an attached shared buffer.
 _SHARED_TYPES = frozenset(
-    {"SharedCSR", "AttachedCSR", "SharedCSRHandle", "memoryview"}
+    {
+        "SharedCSR",
+        "AttachedCSR",
+        "SharedCSRHandle",
+        "SharedResults",
+        "AttachedResults",
+        "ResultsHandle",
+        "memoryview",
+    }
 )
 
 
@@ -261,7 +269,7 @@ class WorkerPurityPass:
                 if isinstance(func, ast.Attribute)
                 else func.id if isinstance(func, ast.Name) else ""
             )
-            if called in {"attach", "export"} or called in _SHARED_TYPES:
+            if called in {"attach", "attach_results", "export"} or called in _SHARED_TYPES:
                 shared.add(stmt.targets[0].id)
         return shared
 

@@ -12,7 +12,7 @@ a :class:`ProjectModel`:
   ignore deliberate laziness;
 * an approximate call graph over module-level functions and methods,
   resolved through the import bindings (``_worker.evaluate`` →
-  ``repro.parallel.worker:evaluate``), ``self``/``cls`` dispatch,
+  ``repro.parallel.worker:evaluate_chunk``), ``self``/``cls`` dispatch,
   one-level re-export following, and a conservative unique-name
   fallback for attribute calls.
 

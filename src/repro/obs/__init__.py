@@ -42,6 +42,8 @@ from repro.obs.runtime import (
     GAC_ITERATIONS,
     OLAK_ITERATIONS,
     PARALLEL_CHUNKS,
+    PARALLEL_DISPATCHES,
+    PARALLEL_RESULT_OVERFLOWS,
     PARALLEL_TASKS,
     PEEL_POPS,
     PRUNED_CANDIDATES,
@@ -79,6 +81,8 @@ __all__ = [
     "GAC_ITERATIONS",
     "OLAK_ITERATIONS",
     "PARALLEL_CHUNKS",
+    "PARALLEL_DISPATCHES",
+    "PARALLEL_RESULT_OVERFLOWS",
     "PARALLEL_TASKS",
     "PEEL_POPS",
     "PRUNED_CANDIDATES",

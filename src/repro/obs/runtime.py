@@ -68,7 +68,11 @@ OLAK_ITERATIONS = "olak.iterations"
 #: Candidate evaluations shipped to scan workers (repro.parallel).
 PARALLEL_TASKS = "parallel.tasks"
 #: Dispatch batches (chunk barriers) executed by the parallel scan.
+PARALLEL_DISPATCHES = "parallel.dispatches"
+#: Task chunks actually shipped to workers (payload pickles).
 PARALLEL_CHUNKS = "parallel.chunks"
+#: Worker results that fell back to the pickle channel (row overflow).
+PARALLEL_RESULT_OVERFLOWS = "parallel.result_overflows"
 #: Round-boundary checkpoint files written (repro.checkpoint).
 CHECKPOINT_WRITES = "checkpoint.writes"
 #: Checkpoint files loaded to resume a greedy run.

@@ -2,14 +2,25 @@
 
 :class:`CandidateScanPool` owns a ``ProcessPoolExecutor`` whose workers
 attach a one-time shared-memory export of the graph's CSR view
-(:mod:`repro.parallel.shm`) and evaluate ``(epoch, candidate)`` tasks
+(:mod:`repro.parallel.shm`) and evaluate chunks of candidates
 (:mod:`repro.parallel.worker`). The pool itself is policy-free: it
-ships task batches and returns results in dispatch order; the
+ships task chunks and returns results in dispatch order; the
 determinism-preserving two-phase scan (bound-sorted chunks, threshold
 barriers, serial replay merge) lives with the greedy in
 :mod:`repro.anchors.gac`.
 
-Failure model: any worker/pickling/executor error marks the pool
+Dispatch economics (the PR-4 slowdown fix): the epoch header — round
+number plus the anchor lineage — is pickled once per *chunk*, not once
+per task; chunk sizes adapt to the previous dispatch's measured
+per-task latency (``REPRO_PARALLEL_CHUNK`` pins them for tests);
+results return through a preallocated :class:`~repro.parallel.shm.SharedResults`
+block of fixed-width int rows instead of pickled ``TaskResult`` objects
+(``REPRO_PARALLEL_RESULTS=pickle`` restores the legacy channel).
+Adaptive sizing is results-safe because the greedy's replay phase
+discards speculative extras — a bigger or smaller chunk can only change
+*work*, never the selected anchor.
+
+Failure model: any worker/pickling/executor/decode error marks the pool
 ``broken`` and propagates to the caller, which falls back to the serial
 scan — dispatch never mutates shared algorithm state, so a failed batch
 leaves the round exactly where the serial scan would start it. A hard
@@ -29,12 +40,52 @@ from repro.faults import fault_point as _fault_point
 from repro.graphs.csr import csr_view
 from repro.graphs.graph import Graph, Vertex
 from repro.parallel import worker as _worker
-from repro.parallel.shm import SharedCSR
-from repro.parallel.util import ENV_START
+from repro.parallel.shm import ResultsHandle, SharedCSR, SharedResults
+from repro.parallel.util import (
+    ENV_RESULTS,
+    ENV_START,
+    chunked,
+    resolve_chunk_override,
+)
+from repro.parallel.worker import ROW_FIXED_INTS
 
-#: Keep batches small enough for load balancing across workers but
-#: large enough to amortize the per-submission IPC.
+#: First-dispatch fallback before any latency measurement exists: keep
+#: chunks small enough for load balancing but large enough to amortize
+#: the per-submission IPC.
 _TARGET_BATCHES_PER_WORKER = 4
+#: Adaptive target: one chunk should cost a worker about this long, so
+#: cheap tasks coalesce into big chunks and expensive ones spread out.
+_TARGET_CHUNK_SECONDS = 0.02
+#: Adaptive target for the greedy's speculative dispatch window (the
+#: bound-sorted slice evaluated between threshold barriers).
+_TARGET_DISPATCH_SECONDS = 0.10
+#: First-round dispatch window per worker (pre-latency heuristic).
+_CHUNK_PER_WORKER = 8
+#: Hard cap on the adaptive dispatch window.
+_MAX_DISPATCH = 65536
+#: Inline per-node count pairs a result row can hold before the result
+#: overflows to the pickle channel.
+_ROW_COUNT_PAIRS = 24
+#: The fixed counter table shipped to workers at init: the only delta
+#: names a result row can encode (everything a follower evaluation can
+#: legitimately touch). An unknown name overflows to pickle — correct,
+#: just slower — so extending the obs registry never corrupts rows.
+_COUNTER_NAMES = (
+    _obs.BUCKET_POPS,
+    _obs.PEEL_POPS,
+    _obs.CSR_BUILDS,
+    _obs.CSR_CACHE_HITS,
+    _obs.EXPLORED_NODES,
+    _obs.REUSED_NODES,
+    _obs.VISITED_VERTICES,
+    _obs.EVALUATED_CANDIDATES,
+    _obs.PRUNED_CANDIDATES,
+    _obs.REUSE_SERVED,
+    _obs.REUSE_DROPPED,
+)
+_ROW_INTS = ROW_FIXED_INTS + len(_COUNTER_NAMES) + 2 * _ROW_COUNT_PAIRS
+#: Initial result-block rows; grown geometrically on demand.
+_MIN_RESULT_ROWS = 256
 
 
 class PoolUnavailable(RuntimeError):
@@ -74,7 +125,17 @@ class CandidateScanPool:
             labels), a bad worker count, or executor start-up failure.
     """
 
-    __slots__ = ("workers", "broken", "_shared", "_executor")
+    __slots__ = (
+        "workers",
+        "broken",
+        "_shared",
+        "_executor",
+        "_results",
+        "_labels",
+        "_index",
+        "_latency",
+        "_use_shm_results",
+    )
 
     def __init__(
         self,
@@ -93,18 +154,121 @@ class CandidateScanPool:
             )
         self.workers = workers
         self.broken = False
+        self._labels = csr.labels
+        self._index = csr.index
+        self._latency: float | None = None
+        self._results: SharedResults | None = None
+        self._use_shm_results = (
+            os.environ.get(ENV_RESULTS, "").strip().lower() != "pickle"
+        )
         self._shared = SharedCSR.export(csr)
         try:
             self._executor = ProcessPoolExecutor(
                 max_workers=workers,
                 mp_context=multiprocessing.get_context(_start_method(start_method)),
                 initializer=_worker.init_worker,
-                initargs=(self._shared.handle, follower_method),
+                initargs=(self._shared.handle, follower_method, _COUNTER_NAMES),
             )
         except Exception as exc:
             self._shared.close()
             raise PoolUnavailable(f"process pool failed to start: {exc}") from exc
 
+    # ------------------------------------------------------------------
+    # Adaptive sizing
+    # ------------------------------------------------------------------
+    def _chunk_tasks(self, n: int) -> int:
+        """Tasks per chunk for an ``n``-task dispatch.
+
+        ``REPRO_PARALLEL_CHUNK`` pins the size (clamped to the dispatch);
+        otherwise the measured per-task latency sizes chunks to about
+        :data:`_TARGET_CHUNK_SECONDS` each, capped so every worker still
+        gets work. Before any measurement exists, fall back to the PR-4
+        static split.
+        """
+        override = resolve_chunk_override()
+        if override is not None:
+            return max(1, min(override, n))
+        if self._latency is not None and self._latency > 0:
+            size = round(_TARGET_CHUNK_SECONDS / self._latency)
+        else:
+            size = -(-n // (self.workers * _TARGET_BATCHES_PER_WORKER))
+        balanced = -(-n // self.workers)
+        return max(1, min(size, balanced))
+
+    def dispatch_size(self) -> int:
+        """Candidates the greedy should dispatch between threshold barriers.
+
+        Sized so one speculative window costs the pool about
+        :data:`_TARGET_DISPATCH_SECONDS` of per-task work — small enough
+        that the simulated threshold stays fresh (little wasted
+        speculation), large enough that barrier overhead amortizes.
+        Floor of two full chunks per worker; pre-latency it reproduces
+        the PR-4 static window.
+        """
+        if self._latency is not None and self._latency > 0:
+            size = round(_TARGET_DISPATCH_SECONDS / self._latency)
+            return max(2 * self.workers, min(size, _MAX_DISPATCH))
+        return max(16, _CHUNK_PER_WORKER * self.workers)
+
+    # ------------------------------------------------------------------
+    # Result rows
+    # ------------------------------------------------------------------
+    def _ensure_results(self, n: int) -> "ResultsHandle | None":
+        """A result block with at least ``n`` rows, or ``None`` in pickle mode.
+
+        Grows geometrically; a grown block gets a fresh shm name, which
+        is what tells workers to re-attach.
+        """
+        if not self._use_shm_results:
+            return None
+        current = self._results
+        if current is not None and current.handle.rows >= n:
+            return current.handle
+        rows = max(n, _MIN_RESULT_ROWS)
+        if current is not None:
+            rows = max(rows, 2 * current.handle.rows)
+            current.close()
+        self._results = SharedResults.create(rows, _ROW_INTS)
+        return self._results.handle
+
+    def _decode_row(self, slot: int, candidate: Vertex) -> _worker.TaskResult:
+        """Decode the shared row at ``slot`` back into a ``TaskResult``.
+
+        The row's first int is the candidate id **plus one** (a zeroed,
+        never-written row can never validate); a mismatch means the
+        protocol broke and the whole dispatch is discarded in favor of
+        the serial scan.
+        """
+        results = self._results
+        assert results is not None  # only called when a handle was dispatched
+        row = results.row(slot)
+        expected = self._index[candidate] + 1
+        if row[0] != expected:
+            raise RuntimeError(
+                f"result row {slot} holds candidate tag {row[0]}, "
+                f"expected {expected} — shared-row protocol violation"
+            )
+        total = row[1]
+        n_counts = row[2]
+        deltas: dict[str, int] = {}
+        for at, name in enumerate(_COUNTER_NAMES):
+            value = row[ROW_FIXED_INTS + at]
+            if value:
+                deltas[name] = value
+        if n_counts < 0:
+            counts: dict[NodeId, int] | None = None
+        else:
+            labels = self._labels
+            base = ROW_FIXED_INTS + len(_COUNTER_NAMES)
+            counts = {}
+            for pair in range(n_counts):
+                at = base + 2 * pair
+                counts[labels[row[at]]] = row[at + 1]
+        return (candidate, total, counts, deltas)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
     def evaluate(
         self,
         epoch: int,
@@ -113,43 +277,93 @@ class CandidateScanPool:
     ) -> list[_worker.TaskResult]:
         """Evaluate one batch of candidates; results in dispatch order.
 
-        Any failure (worker crash, pickling error, broken executor)
-        marks the pool broken and re-raises; the caller falls back to
-        the serial scan for the whole round.
+        ``anchors`` is the anchor *lineage* in application order (sorted
+        initial anchors, then selections) — workers key their persistent
+        state cache on it. Any failure (worker crash, pickling error,
+        broken executor, row-decode mismatch) marks the pool broken and
+        re-raises; the caller falls back to the serial scan for the
+        whole round.
         """
-        payloads: list[_worker.TaskPayload] = [
-            (epoch, anchors, candidate, reusable) for candidate, reusable in tasks
-        ]
-        chunksize = max(
-            1, -(-len(payloads) // (self.workers * _TARGET_BATCHES_PER_WORKER))
-        )
+        n = len(tasks)
+        header: _worker.ChunkHeader = (epoch, anchors)
         try:
+            handle = self._ensure_results(n)
+            size = self._chunk_tasks(n)
+            payloads: list[_worker.ChunkPayload] = []
+            slot_base = 0
+            for chunk in chunked(tasks, size):
+                payloads.append((header, slot_base, handle, tuple(chunk)))
+                slot_base += len(chunk)
             _fault_point("parallel.dispatch")
-            results = list(
-                self._executor.map(_worker.evaluate, payloads, chunksize=chunksize)
-            )
+            start = _obs.clock()
+            overflows = list(self._executor.map(_worker.evaluate_chunk, payloads))
+            elapsed = _obs.clock() - start
+            results, overflowed = self._merge(payloads, overflows, handle)
         except Exception:
             self.broken = True
             raise
-        _obs.add(_obs.PARALLEL_TASKS, len(payloads))
-        _obs.add(_obs.PARALLEL_CHUNKS)
+        per_task = elapsed / n if n else elapsed
+        self._latency = (
+            per_task
+            if self._latency is None
+            else 0.5 * (self._latency + per_task)
+        )
+        _obs.add(_obs.PARALLEL_TASKS, n)
+        _obs.add(_obs.PARALLEL_CHUNKS, len(payloads))
+        _obs.add(_obs.PARALLEL_DISPATCHES)
+        if overflowed:
+            _obs.add(_obs.PARALLEL_RESULT_OVERFLOWS, overflowed)
         return results
 
+    def _merge(
+        self,
+        payloads: "list[_worker.ChunkPayload]",
+        overflows: "list[_worker.ChunkOverflow]",
+        handle: "ResultsHandle | None",
+    ) -> tuple[list[_worker.TaskResult], int]:
+        """Stitch shared rows and pickle-channel overflows into task order."""
+        results: list[_worker.TaskResult] = []
+        overflowed = 0
+        for payload, chunk_overflow in zip(payloads, overflows):
+            _header, slot_base, _handle, chunk_tasks = payload
+            by_offset = dict(chunk_overflow)
+            overflowed += len(chunk_overflow)
+            for offset, (candidate, _reusable) in enumerate(chunk_tasks):
+                spilled = by_offset.get(offset)
+                if spilled is not None:
+                    results.append(spilled)
+                elif handle is None:
+                    raise RuntimeError(
+                        f"pickle-mode worker returned no result for task "
+                        f"offset {offset}"
+                    )
+                else:
+                    results.append(self._decode_row(slot_base + offset, candidate))
+        return results, overflowed
+
     def close(self) -> None:
-        """Shut the executor down and release the shared-memory export.
+        """Shut the executor down and release every shared-memory block.
 
         Teardown failures are swallowed (gauged as ``parallel.close_error``):
         the scan results are already merged by the time the pool closes,
-        and a cleanup error must not fail a finished run. The OS reclaims
-        a leaked mapping at process exit. Hosts the ``shm.exporter_finalize``
-        fault site.
+        and a cleanup error must not fail a finished run. Each block gets
+        its own attempt — an executor-shutdown error can no longer skip
+        the shared releases (the PR-4 leak), and the OS reclaims anything
+        still mapped at process exit. Hosts the ``shm.exporter_finalize``
+        fault site once per block.
         """
-        self._executor.shutdown(wait=False, cancel_futures=True)
         try:
-            _fault_point("shm.exporter_finalize")
-            self._shared.close()
+            self._executor.shutdown(wait=False, cancel_futures=True)
         except Exception:
             _obs.gauge("parallel.close_error", 1.0)
+        for block in (self._results, self._shared):
+            if block is None:
+                continue
+            try:
+                _fault_point("shm.exporter_finalize")
+                block.close()
+            except Exception:
+                _obs.gauge("parallel.close_error", 1.0)
 
     def __repr__(self) -> str:
         state = "broken" if self.broken else "ready"

@@ -19,6 +19,27 @@ ENV_WORKERS = "REPRO_PARALLEL"
 #: Start-method override (``fork`` / ``spawn`` / ``forkserver``); unset
 #: or unavailable falls back to ``fork`` where the platform has it.
 ENV_START = "REPRO_PARALLEL_START"
+#: Fixed executor chunk size override (positive int); unset / unparsable
+#: means the pool adapts the size from measured per-task latency.
+ENV_CHUNK = "REPRO_PARALLEL_CHUNK"
+#: Result-channel override: ``pickle`` forces the legacy per-task pickle
+#: return path instead of the shared-memory result rows (debug knob).
+ENV_RESULTS = "REPRO_PARALLEL_RESULTS"
+
+
+def resolve_chunk_override() -> int | None:  # lint: obs-ok trivial config resolution
+    """The ``REPRO_PARALLEL_CHUNK`` override, or ``None`` for adaptive.
+
+    Absent, empty, unparsable, or non-positive values all mean "adapt".
+    """
+    raw = os.environ.get(ENV_CHUNK, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 def bucket_h_index(  # lint: obs-ok pure O(n) arithmetic

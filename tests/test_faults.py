@@ -297,6 +297,18 @@ def _exporter_finalize_is_swallowed(monkeypatch):
     )
 
 
+def test_crash_mid_chunk_falls_back_identically(monkeypatch):
+    """A worker dying partway through a multi-task chunk (raise on its
+    5th task, chunks pinned wide enough to guarantee mid-chunk impact)
+    must discard the whole dispatch and fall back to the serial scan."""
+    monkeypatch.setenv("REPRO_PARALLEL_CHUNK", "10000")
+    _parallel_fault_run(
+        monkeypatch,
+        "worker.task_start=raise@5",
+        gauge="gac.parallel_fallback.scan_error",
+    )
+
+
 @scenario("checkpoint.write")
 def _checkpoint_write_is_survivable(monkeypatch):
     graph = small_random_graph(3)

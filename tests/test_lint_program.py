@@ -146,7 +146,7 @@ class TestProjectModel:
         model, _ = build_project([SRC])
         entries = model.worker_entry_points()
         assert "repro.parallel.worker:init_worker" in entries
-        assert "repro.parallel.worker:evaluate" in entries
+        assert "repro.parallel.worker:evaluate_chunk" in entries
 
     def test_real_tree_reaches_obs_transitively(self):
         model, _ = build_project([SRC])

@@ -274,16 +274,173 @@ class TestScanDeterminism:
 
 
 # ----------------------------------------------------------------------
+# chunked dispatch: sizing knobs and result channels never change results
+# ----------------------------------------------------------------------
+class TestChunkedDispatch:
+    _reference: tuple | None = None
+
+    def _serial(self):
+        graph = small_random_graph(1, n=60, m=160)
+        if TestChunkedDispatch._reference is None:
+            TestChunkedDispatch._reference = _result_tuple(
+                gac(graph, 3, tie_break="id", workers=0)
+            )
+        return graph, TestChunkedDispatch._reference
+
+    @pytest.mark.parametrize("workers", [0, 2, 4])
+    @pytest.mark.parametrize(
+        "chunk", [None, "1", "10000"], ids=["adaptive", "one", "oversized"]
+    )
+    def test_chunk_size_matrix_identical(self, tiny_pools, monkeypatch, workers, chunk):
+        if chunk is None:
+            monkeypatch.delenv("REPRO_PARALLEL_CHUNK", raising=False)
+        else:
+            monkeypatch.setenv("REPRO_PARALLEL_CHUNK", chunk)
+        graph, reference = self._serial()
+        run = gac(graph, 3, tie_break="id", workers=workers)
+        assert _result_tuple(run) == reference
+
+    @needs_shm
+    def test_pickle_result_channel_identical(self, tiny_pools, monkeypatch):
+        graph, reference = self._serial()
+        monkeypatch.setenv("REPRO_PARALLEL_RESULTS", "pickle")
+        run = gac(graph, 3, tie_break="id", workers=2)
+        assert _result_tuple(run) == reference
+
+    @needs_shm
+    def test_row_overflow_falls_back_to_pickle(self, tiny_pools, monkeypatch):
+        """Rows too narrow for any count set spill per task, same results."""
+        import repro.parallel.pool as pool_mod
+
+        # No inline pairs: every tree-path result with counts overflows.
+        monkeypatch.setattr(
+            pool_mod,
+            "_ROW_INTS",
+            pool_mod.ROW_FIXED_INTS + len(pool_mod._COUNTER_NAMES),
+        )
+        graph, reference = self._serial()
+        before = obs.get(obs.PARALLEL_RESULT_OVERFLOWS)
+        run = gac(graph, 3, tie_break="id", workers=2)
+        assert _result_tuple(run) == reference
+        assert obs.get(obs.PARALLEL_RESULT_OVERFLOWS) > before
+
+    @needs_shm
+    def test_chunk_counter_records_real_chunks(self, monkeypatch):
+        """PARALLEL_CHUNKS counts shipped chunks, not dispatch calls."""
+        monkeypatch.setenv("REPRO_PARALLEL_CHUNK", "1")
+        graph = small_random_graph(1, n=60, m=160)
+        pool = CandidateScanPool(graph, 2)
+        try:
+            tasks = [(u, None) for u in sorted(graph.vertices())[:10]]
+            chunks_before = obs.get(obs.PARALLEL_CHUNKS)
+            dispatches_before = obs.get(obs.PARALLEL_DISPATCHES)
+            results = pool.evaluate(0, (), tasks)
+            assert obs.get(obs.PARALLEL_CHUNKS) - chunks_before == len(tasks)
+            assert obs.get(obs.PARALLEL_DISPATCHES) - dispatches_before == 1
+            # decoded rows reproduce the serial oracle
+            from repro.anchors.followers import find_followers
+            from repro.anchors.state import AnchoredState
+
+            state = AnchoredState.build(graph, frozenset())
+            for (candidate, total, counts, _deltas), (u, _r) in zip(results, tasks):
+                assert candidate == u
+                report = find_followers(state, u)
+                assert total == report.total
+                assert counts == dict(report.counts)
+        finally:
+            pool.close()
+
+    @needs_shm
+    def test_close_releases_shm_when_shutdown_raises(self, monkeypatch):
+        """The crash-fallback leak: a shutdown error must not skip shm."""
+        graph = small_random_graph(1, n=60, m=160)
+        pool = CandidateScanPool(graph, 2)
+        executor = pool._executor
+        real_shutdown = executor.shutdown
+        try:
+            pool.evaluate(0, (), [(u, None) for u in sorted(graph.vertices())[:4]])
+            assert pool._results is not None
+
+            def _boom(*args, **kwargs):
+                raise RuntimeError("synthetic shutdown failure")
+
+            monkeypatch.setattr(executor, "shutdown", _boom)
+            pool.close()
+            assert pool._shared.closed
+            assert pool._results.closed
+            error = obs.gauges_snapshot().get("parallel.close_error")
+            assert error == 1.0  # lint: float-eq-ok gauge stores the exact literal 1.0
+        finally:
+            real_shutdown(wait=False, cancel_futures=True)
+
+
+# ----------------------------------------------------------------------
+# persistent worker state: the incremental lineage cache
+# ----------------------------------------------------------------------
+@needs_shm
+class TestWorkerLineageCache:
+    def test_incremental_advance_matches_fresh_build(self):
+        """Extending the lineage advances the cached state in place and
+        keeps every follower total equal to a fresh-build oracle."""
+        from repro.anchors.followers import find_followers
+        from repro.anchors.state import AnchoredState
+        from repro.core.decomposition import _sort_key
+
+        graph = small_random_graph(2, n=60, m=160)
+        shared = SharedCSR.export(csr_view(graph))
+        saved_state = worker_mod._state
+        try:
+            worker_mod.init_worker(shared.handle, "tree")
+            anchors_in_order = sorted(graph.vertices(), key=_sort_key)[:3]
+            cached_ids = []
+            for epoch in range(3):
+                lineage = tuple(anchors_in_order[:epoch])
+                candidates = [
+                    u
+                    for u in sorted(graph.vertices(), key=_sort_key)
+                    if u not in lineage
+                ][:6]
+                payload = (
+                    (epoch, lineage),
+                    0,
+                    None,  # pickle channel: everything comes back inline
+                    tuple((u, None) for u in candidates),
+                )
+                overflow = worker_mod.evaluate_chunk(payload)
+                assert [offset for offset, _ in overflow] == list(
+                    range(len(candidates))
+                )
+                cached_ids.append(id(worker_mod._state.state))
+                oracle = AnchoredState.build(graph, frozenset(lineage))
+                for offset, (candidate, total, counts, _deltas) in overflow:
+                    report = find_followers(oracle, candidate)
+                    assert candidate == candidates[offset]
+                    assert total == report.total
+                    assert counts == dict(report.counts)
+            # the same AnchoredState object advanced across epochs —
+            # proof the incremental path ran instead of a rebuild
+            assert cached_ids[1] == cached_ids[2]
+        finally:
+            attachment = (
+                worker_mod._state.attachment if worker_mod._state else None
+            )
+            worker_mod._state = saved_state
+            if attachment is not None:
+                attachment.close()
+            shared.close()
+
+
+# ----------------------------------------------------------------------
 # crash recovery: the pool must degrade, never corrupt
 # ----------------------------------------------------------------------
-def _soft_crash_evaluate(task):
+def _soft_crash_evaluate(payload):
     """Evaluate normally in round 0, blow up from round 1 on."""
-    if task[0] >= 1:
+    if payload[0][0] >= 1:  # payload[0] is the (epoch, lineage) header
         raise RuntimeError("synthetic worker failure")
-    return worker_mod.evaluate(task)
+    return worker_mod.evaluate_chunk(payload)
 
 
-def _hard_crash_evaluate(task):
+def _hard_crash_evaluate(payload):
     """Kill the worker process outright (BrokenProcessPool in the parent)."""
     os._exit(1)
 
@@ -302,7 +459,7 @@ class TestCrashFallback:
     def test_worker_crash_mid_run_falls_back_to_serial(self, monkeypatch, crash):
         graph = small_random_graph(1, n=60, m=160)
         serial = gac(graph, 3, tie_break="id")
-        monkeypatch.setattr(worker_mod, "evaluate", crash)
+        monkeypatch.setattr(worker_mod, "evaluate_chunk", crash)
         crashed = gac(graph, 3, tie_break="id", workers=2)
         assert _result_tuple(crashed) == _result_tuple(serial)
         fallback = obs.gauges_snapshot().get("gac.parallel_fallback.scan_error")

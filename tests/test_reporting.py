@@ -1,5 +1,7 @@
 """Tests for the experiment reporting primitives."""
 
+import pytest
+
 from repro.experiments.reporting import BarChart, ExperimentResult, PerfBaseline, Table
 
 
@@ -82,15 +84,15 @@ class TestPerfBaseline:
             mode="smoke",
             best_of=3,
         )
-        baseline.record("bucket_decomposition", dict_s=0.04, csr_s=0.01)
-        baseline.record("zero_guard", dict_s=0.5, csr_s=0.0)
+        baseline.record("bucket_decomposition", 0.04, 0.01)
+        baseline.record("zero_guard", 0.5, 0.0)
         return baseline
 
     def test_record_and_speedup(self):
         baseline = self._baseline()
         speedup = baseline.speedup("bucket_decomposition")
         assert speedup == 4.0  # lint: float-eq-ok round(3) exact
-        assert baseline.speedup("zero_guard") is None  # csr_s == 0 guarded
+        assert baseline.speedup("zero_guard") is None  # fast_s == 0 guarded
         assert baseline.speedup("missing") is None
 
     def test_json_roundtrip(self, tmp_path):
@@ -101,9 +103,11 @@ class TestPerfBaseline:
         baseline.notes.append("a note")
         path = baseline.write(tmp_path / "BENCH_substrate.json")
         payload = json.loads(path.read_text())
-        assert payload["schema"] == 2
+        assert payload["schema"] == 3
         assert payload["mode"] == "smoke"
         assert payload["phases"] == []
+        assert payload["labels"] == ["dict_s", "csr_s"]
+        assert payload["host_cores"] is None
         assert payload["dataset"] == {
             "name": "toy",
             "num_vertices": 10,
@@ -123,3 +127,70 @@ class TestPerfBaseline:
         assert "toy" in table.title
         assert table.headers == ["primitive", "dict_s", "csr_s", "speedup"]
         assert len(table.rows) == 2
+
+    def test_custom_labels_name_the_columns(self):
+        baseline = PerfBaseline(
+            name="gac-parallel-baseline",
+            dataset="toy",
+            num_vertices=10,
+            num_edges=20,
+            labels=("serial_s", "parallel_s"),
+            host_cores=4,
+        )
+        entry = baseline.record("candidate_scan_w4", 2.0, 1.0)
+        assert entry == {
+            "primitive": "candidate_scan_w4",
+            "serial_s": 2.0,
+            "parallel_s": 1.0,
+            "speedup": 2.0,
+        }
+        table = baseline.as_table()
+        assert table.headers == ["primitive", "serial_s", "parallel_s", "speedup"]
+
+    def test_load_round_trips_schema3(self, tmp_path):
+        baseline = PerfBaseline(
+            name="gac-parallel-baseline",
+            dataset="toy",
+            num_vertices=10,
+            num_edges=20,
+            labels=("serial_s", "parallel_s"),
+            host_cores=4,
+        )
+        baseline.record("candidate_scan_w4", 2.0, 1.0)
+        path = baseline.write(tmp_path / "BENCH_gac.json")
+        loaded = PerfBaseline.load(path)
+        assert loaded.labels == ("serial_s", "parallel_s")
+        assert loaded.host_cores == 4
+        assert loaded.speedup("candidate_scan_w4") == 2.0  # lint: float-eq-ok round(3) exact
+        assert loaded.primitives == baseline.primitives
+
+    def test_load_accepts_schema2_with_implicit_labels(self, tmp_path):
+        import json
+
+        payload = {
+            "name": "substrate-perf-baseline",
+            "schema": 2,
+            "mode": "full",
+            "dataset": {"name": "toy", "num_vertices": 10, "num_edges": 20},
+            "best_of": 3,
+            "csr_build_s": None,
+            "primitives": [
+                {"primitive": "p", "dict_s": 0.4, "csr_s": 0.1, "speedup": 4.0}
+            ],
+            "phases": [],
+            "notes": [],
+        }
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        loaded = PerfBaseline.load(path)
+        assert loaded.labels == ("dict_s", "csr_s")
+        assert loaded.host_cores is None
+        assert loaded.speedup("p") == 4.0  # lint: float-eq-ok exact json
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "x", "schema": 99}), encoding="utf-8")
+        with pytest.raises(ValueError, match="schema"):
+            PerfBaseline.load(path)
