@@ -18,12 +18,20 @@ actually run the workers concurrently
 (``scripts/check_gac_regression.py`` applies the same gate against the
 committed trajectory in CI).
 
+Alongside the timings the baseline now carries per-phase profiles
+(``serial/…`` and ``w<N>/…`` namespaces, diffable with ``python -m
+repro.obs diff``) and the best parallel run's merged multi-process
+Chrome trace — parent lane, one lane per worker pid, resource-gauge
+timeline — is written next to it for CI to validate and upload.
+
 Environment knobs (parallel-scan baseline only):
-    REPRO_BENCH_SMOKE=1     small replica + tiny budget (the CI mode)
-    REPRO_BENCH_GAC_DATASET override the replica name
-    REPRO_BENCH_GAC_OUT     override the output path
+    REPRO_BENCH_SMOKE=1       small replica + tiny budget (the CI mode)
+    REPRO_BENCH_GAC_DATASET   override the replica name
+    REPRO_BENCH_GAC_OUT       override the output path
+    REPRO_BENCH_GAC_TRACE_OUT override the merged trace artifact path
 """
 
+import json
 import os
 import time
 from pathlib import Path
@@ -47,6 +55,10 @@ GAC_WORKER_COUNTS = (2,) if SMOKE else (2, 4)
 GAC_BEST_OF = 1 if SMOKE else 3
 _DEFAULT_GAC_OUT = Path(__file__).resolve().parent.parent / "BENCH_gac.json"
 GAC_OUT_PATH = Path(os.environ.get("REPRO_BENCH_GAC_OUT", _DEFAULT_GAC_OUT))
+_DEFAULT_GAC_TRACE = Path(__file__).resolve().parent.parent / "BENCH_gac_trace.json"
+GAC_TRACE_PATH = Path(
+    os.environ.get("REPRO_BENCH_GAC_TRACE_OUT", _DEFAULT_GAC_TRACE)
+)
 
 
 def test_fig12_runtime(benchmark, save_report):
@@ -81,39 +93,50 @@ def _result_tuple(result):
 
 
 def _gac_scan_run(workers):
-    """One traced GAC run; returns (result, wall seconds, scan seconds).
+    """One traced GAC run; returns (result, wall, scan_s, events, samples).
 
     Scan seconds sum the ``gac.candidate_scan`` span, which wraps both
     the serial loop and the parallel dispatch+replay, so the two sides
-    pay the same tracing overhead and the ratio stays honest.
+    pay the same tracing overhead and the ratio stays honest (parallel
+    runs additionally ship worker spans back — a per-chunk batch, paid
+    identically on every repeat). Events include the worker-lane spans;
+    samples are the run's resource-gauge timeline.
     """
     graph = registry.load(GAC_DATASET)
     window = obs.window()
-    t0 = time.perf_counter()
-    with obs.tracing(True):
-        result = gac(graph, GAC_BUDGET, workers=workers)
-    wall = time.perf_counter() - t0
-    stats = {s.name: s for s in obs.phase_profile(window.events())}
-    return result, wall, stats["gac.candidate_scan"].total_s
+    with obs.ResourceSampler() as sampler:
+        t0 = time.perf_counter()
+        with obs.tracing(True):
+            result = gac(graph, GAC_BUDGET, workers=workers)
+        wall = time.perf_counter() - t0
+    events = window.events()
+    stats = {s.name: s for s in obs.phase_profile(events)}
+    scan = stats["gac.candidate_scan"].total_s
+    return result, wall, scan, events, sampler.samples
 
 
 def _best_gac_runs(workers, reference=None):
-    """Best-of-``GAC_BEST_OF`` (wall, scan) seconds for one worker count.
+    """Best-of-``GAC_BEST_OF`` run for one worker count.
 
-    Identity against ``reference`` (the serial result tuple) is asserted
-    on *every* repeat, not just the fastest — a nondeterministic run must
-    never hide behind a better-timed sibling.
+    Returns ``(result_tuple, min_wall, min_scan, events, samples)`` where
+    the events/samples come from the best-wall repeat. Identity against
+    ``reference`` (the serial result tuple) is asserted on *every*
+    repeat, not just the fastest — a nondeterministic run must never
+    hide behind a better-timed sibling.
     """
     walls, scans = [], []
     result_tuple = None
+    best = None
     for _ in range(GAC_BEST_OF):
-        result, wall, scan = _gac_scan_run(workers=workers)
+        result, wall, scan, events, samples = _gac_scan_run(workers=workers)
         result_tuple = _result_tuple(result)
         if reference is not None:
             assert result_tuple == reference, workers
+        if best is None or wall < best[0]:
+            best = (wall, events, samples)
         walls.append(wall)
         scans.append(scan)
-    return result_tuple, min(walls), min(scans)
+    return result_tuple, min(walls), min(scans), best[1], best[2]
 
 
 def _run_gac_baseline():
@@ -128,16 +151,27 @@ def _run_gac_baseline():
         labels=("serial_s", "parallel_s"),
         host_cores=len(os.sched_getaffinity(0)),
     )
-    serial_tuple, serial_wall, serial_scan = _best_gac_runs(workers=0)
+    serial_tuple, serial_wall, serial_scan, serial_events, _ = _best_gac_runs(
+        workers=0
+    )
+    obs.record_phases(baseline, obs.phase_profile(serial_events), prefix="serial/")
+    trace_events, trace_samples = serial_events, []
     for workers in GAC_WORKER_COUNTS:
         # The determinism contract holds unconditionally — before any
         # timing is recorded, every parallel repeat must reproduce the
         # serial GreedyResult byte for byte, Figure-13 counters included.
-        _, parallel_wall, parallel_scan = _best_gac_runs(
+        _, parallel_wall, parallel_scan, events, samples = _best_gac_runs(
             workers=workers, reference=serial_tuple
         )
         baseline.record(f"candidate_scan_w{workers}", serial_scan, parallel_scan)
         baseline.record(f"gac_total_w{workers}", serial_wall, parallel_wall)
+        obs.record_phases(
+            baseline, obs.phase_profile(events), prefix=f"w{workers}/"
+        )
+        # The uploaded trace is the best run at the highest worker count:
+        # parent lane + one lane per worker pid + resource timeline.
+        trace_events, trace_samples = events, samples
+    obs.write_chrome_trace(GAC_TRACE_PATH, trace_events, None, trace_samples)
     baseline.notes.append(
         "serial_s = serial (workers=0) seconds, parallel_s = parallel "
         "seconds; candidate_scan_w* sums the gac.candidate_scan span, "
@@ -152,6 +186,11 @@ def _run_gac_baseline():
         "speedup < 1 is expected (dispatch overhead, no concurrency); the "
         "CI gate only applies at host_cores >= 4"
     )
+    baseline.notes.append(
+        "phases are namespaced serial/ and w<N>/ per configuration "
+        "(best-wall repeat); merged multi-worker Chrome trace written to "
+        f"{GAC_TRACE_PATH.name}"
+    )
     baseline.write(GAC_OUT_PATH)
     return baseline
 
@@ -162,6 +201,20 @@ def test_gac_parallel_scan_baseline(benchmark):
     recorded = {e["primitive"] for e in baseline.primitives}
     for workers in GAC_WORKER_COUNTS:
         assert f"candidate_scan_w{workers}" in recorded
+
+    # Phase profiles landed under every configuration namespace…
+    prefixes = {str(e["phase"]).split("/", 1)[0] for e in baseline.phases}
+    assert prefixes >= {"serial"} | {f"w{w}" for w in GAC_WORKER_COUNTS}
+    # …and the merged trace artifact is a valid multi-process trace with
+    # a resource timeline. Worker lanes only exist when the pool engaged
+    # (shm available and no fallback), signalled by shipped spans.
+    assert obs.validate_chrome_trace(GAC_TRACE_PATH) == []
+    document = json.loads(GAC_TRACE_PATH.read_text(encoding="utf-8"))
+    rows = document["traceEvents"]
+    assert any(r["ph"] == "C" and r["name"] == "resource.cpu_s" for r in rows)
+    if obs.get(obs.PARALLEL_SPANS_SHIPPED):
+        lanes = {r["pid"] for r in rows if r["ph"] == "X"}
+        assert len(lanes) >= 2, "expected at least one worker span lane"
 
     # The speedup gate needs real cores: on a 1-CPU runner the worker
     # processes time-slice one core and the dispatch overhead dominates,

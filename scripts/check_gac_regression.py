@@ -19,6 +19,12 @@ Gate logic (honest about hardware):
   baseline from a starved host (like the 1-core seed measurement)
   contributes nothing, so the fixed floor carries the gate.
 
+Below the headline verdict the check prints a **phase-level breakdown**
+(``repro.obs.diffs`` with its variance-aware thresholds) naming which
+phases moved between the committed and fresh profiles — report-only
+diagnostics so a FAIL points at the regressing phase instead of just
+the ratio; the exit status is governed by the headline gate alone.
+
 Exit status: 0 pass / skipped-not-applicable, 1 regression, 2 bad input.
 """
 
@@ -29,6 +35,7 @@ import sys
 from pathlib import Path
 
 from repro.experiments.reporting import PerfBaseline
+from repro.obs.diffs import diff_baselines, diff_table
 
 
 def _speedup(baseline: PerfBaseline, primitive: str) -> float | None:
@@ -95,6 +102,7 @@ def main(argv: "list[str] | None" = None) -> int:
 
     floor = args.floor
     committed_note = "no committed gate-eligible baseline"
+    committed: PerfBaseline | None = None
     if args.committed.exists():
         try:
             committed = PerfBaseline.load(args.committed)
@@ -128,7 +136,36 @@ def main(argv: "list[str] | None" = None) -> int:
         f"{speedup:.3f}x on {cores} cores (floor {floor:.3f}x; "
         f"{committed_note})"
     )
+    _phase_breakdown(committed, fresh)
     return 0 if verdict == "PASS" else 1
+
+
+def _phase_breakdown(committed: PerfBaseline | None, fresh: PerfBaseline) -> None:
+    """Report-only: name the phases that moved between the two runs.
+
+    Never changes the exit status — phase totals on shared runners are
+    noisy diagnostics, not a gate; the variance-aware thresholds in
+    :mod:`repro.obs.diffs` keep the named list short and meaningful.
+    """
+    if committed is None:
+        print("phase breakdown: no committed baseline to diff against")
+        return
+    if not committed.phases or not fresh.phases:
+        print(
+            "phase breakdown: skipped — committed and/or fresh baseline "
+            "carries no phase profile (re-benched with an older bench?)"
+        )
+        return
+    deltas = diff_baselines(committed, fresh)
+    regressed = [d.phase for d in deltas if d.verdict == "regressed"]
+    if regressed:
+        print(
+            f"phase breakdown: {len(regressed)} phase(s) regressed vs the "
+            f"committed profile: {', '.join(regressed)}"
+        )
+    else:
+        print("phase breakdown: no phase regressed vs the committed profile")
+    print(diff_table(deltas, title="phase diff — committed vs fresh").format())
 
 
 if __name__ == "__main__":

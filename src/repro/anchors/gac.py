@@ -714,6 +714,7 @@ def _scan_parallel(
     reusable_of: dict[Vertex, dict[NodeId, int] | None] = {}
     sim_best = -1
     chunk_count = 0
+    shipped_base = pool.spans_shipped
     with _obs.span(
         "gac.parallel_scan", candidates=len(order), workers=pool.workers
     ) as sp:
@@ -790,6 +791,9 @@ def _scan_parallel(
         if isinstance(sp, _obs.Span):
             sp.args["tasks"] = len(evaluated)
             sp.args["chunks"] = chunk_count
+            # Worker spans merged into this scan's trace (they land in
+            # per-worker pid lanes next to this span's parent lane).
+            sp.args["shipped_spans"] = pool.spans_shipped - shipped_base
     return best, best_gain, False
 
 

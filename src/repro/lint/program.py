@@ -71,6 +71,10 @@ class FunctionInfo:
     node: ast.FunctionDef | ast.AsyncFunctionDef
     cls: str | None = None
     touches_obs: bool = False
+    #: References the worker-side span API (``repro.obs.shipping``) —
+    #: the only obs surface that counts for worker entry points, whose
+    #: spans must travel the shipping channel to reach the trace.
+    touches_worker_obs: bool = False
     callees: set[str] = field(default_factory=set)
 
     @property
@@ -151,6 +155,7 @@ class ProjectModel:
             name: keys[0] for name, keys in by_name.items() if len(keys) == 1
         }
         self._obs_reachers: set[str] | None = None
+        self._worker_obs_reachers: set[str] | None = None
 
     # ------------------------------------------------------------------
     # Call graph
@@ -204,6 +209,33 @@ class ProjectModel:
                         queue.append(caller)
             self._obs_reachers = marked
         return key in self._obs_reachers
+
+    def reaches_worker_obs(self, key: str) -> bool:
+        """Whether ``key`` (transitively) touches ``repro.obs.shipping``.
+
+        Worker entry points run in pool processes whose local collector
+        never reaches the parent trace — plain ``obs.span`` coverage is
+        a silent no-op there unless the spans travel the shipping
+        channel, so the L3 pass holds them to this stricter reach.
+        """
+        if self._worker_obs_reachers is None:
+            reverse: dict[str, set[str]] = {}
+            marked: set[str] = set()
+            queue: list[str] = []
+            for fkey, fn in self.function_index.items():
+                if fn.touches_worker_obs:
+                    marked.add(fkey)
+                    queue.append(fkey)
+                for callee in fn.callees:
+                    reverse.setdefault(callee, set()).add(fkey)
+            while queue:
+                current = queue.pop(0)
+                for caller in reverse.get(current, ()):  # noqa: B909
+                    if caller not in marked:
+                        marked.add(caller)
+                        queue.append(caller)
+            self._worker_obs_reachers = marked
+        return key in self._worker_obs_reachers
 
     # ------------------------------------------------------------------
     # Worker entry points
@@ -501,6 +533,17 @@ def _link_calls(model: ProjectModel) -> None:
             or origin.startswith("repro.obs.")
             or (origin == "repro" and name == "obs")
         }
+        ship_aliases = {
+            alias
+            for alias, target in mod.module_aliases.items()
+            if target == "repro.obs.shipping"
+        }
+        ship_objects = {
+            alias
+            for alias, (origin, name) in mod.object_imports.items()
+            if origin == "repro.obs.shipping"
+            or (origin == "repro.obs" and name == "shipping")
+        }
         for fn in mod.functions.values():
             for child in ast.walk(fn.node):
                 if child is fn.node:
@@ -508,6 +551,8 @@ def _link_calls(model: ProjectModel) -> None:
                 if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load):
                     if child.id in obs_objects or child.id in obs_aliases:
                         fn.touches_obs = True
+                    if child.id in ship_objects or child.id in ship_aliases:
+                        fn.touches_worker_obs = True
                     fn.callees.update(model.resolve(mod, fn.cls, child))
                 elif isinstance(child, ast.Attribute) and isinstance(
                     child.ctx, ast.Load
@@ -515,6 +560,8 @@ def _link_calls(model: ProjectModel) -> None:
                     base = child.value
                     if isinstance(base, ast.Name) and base.id in obs_aliases:
                         fn.touches_obs = True
+                    if isinstance(base, ast.Name) and base.id in ship_aliases:
+                        fn.touches_worker_obs = True
                     fn.callees.update(model.resolve(mod, fn.cls, child))
             fn.callees.discard(fn.key)
 

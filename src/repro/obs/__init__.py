@@ -21,6 +21,13 @@ Tracing on vs off never changes algorithm results — spans and counters
 observe, they do not steer. See ``docs/observability.md``.
 """
 
+from repro.obs.diffs import (
+    PhaseDelta,
+    diff_baselines,
+    diff_payload,
+    diff_phases,
+    diff_table,
+)
 from repro.obs.export import (
     PhaseStat,
     chrome_trace,
@@ -31,6 +38,7 @@ from repro.obs.export import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.resources import ResourceSample, ResourceSampler
 from repro.obs.runtime import (
     BUCKET_POPS,
     CHECKPOINT_RESUMES,
@@ -44,6 +52,11 @@ from repro.obs.runtime import (
     PARALLEL_CHUNKS,
     PARALLEL_DISPATCHES,
     PARALLEL_RESULT_OVERFLOWS,
+    PARALLEL_SPAN_BATCHES,
+    PARALLEL_SPANS_SHIPPED,
+    PARALLEL_STATE_ADVANCES,
+    PARALLEL_STATE_HITS,
+    PARALLEL_STATE_REBUILDS,
     PARALLEL_TASKS,
     PEEL_POPS,
     PRUNED_CANDIDATES,
@@ -62,6 +75,7 @@ from repro.obs.runtime import (
     gauge,
     gauges_snapshot,
     get,
+    record_imported,
     reset,
     span,
     suspended,
@@ -83,6 +97,11 @@ __all__ = [
     "PARALLEL_CHUNKS",
     "PARALLEL_DISPATCHES",
     "PARALLEL_RESULT_OVERFLOWS",
+    "PARALLEL_SPAN_BATCHES",
+    "PARALLEL_SPANS_SHIPPED",
+    "PARALLEL_STATE_ADVANCES",
+    "PARALLEL_STATE_HITS",
+    "PARALLEL_STATE_REBUILDS",
     "PARALLEL_TASKS",
     "PEEL_POPS",
     "PRUNED_CANDIDATES",
@@ -91,7 +110,10 @@ __all__ = [
     "REUSED_NODES",
     "VISITED_VERTICES",
     "NullSpan",
+    "PhaseDelta",
     "PhaseStat",
+    "ResourceSample",
+    "ResourceSampler",
     "Span",
     "SpanEvent",
     "Window",
@@ -100,12 +122,17 @@ __all__ = [
     "clock",
     "counters_snapshot",
     "counters_table",
+    "diff_baselines",
+    "diff_payload",
+    "diff_phases",
+    "diff_table",
     "events",
     "gauge",
     "gauges_snapshot",
     "get",
     "phase_profile",
     "profile_table",
+    "record_imported",
     "record_phases",
     "reset",
     "span",

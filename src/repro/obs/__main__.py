@@ -3,25 +3,54 @@
 Commands:
 
 * ``report``   — run an instrumented GAC pass over a dataset, print the
-  phase-profile and counter tables, and write a Chrome trace-event JSON
-  artifact (tracing is forced on for the run);
+  phase-profile, counter, and (for ``--workers``) pool-health tables,
+  and write a Chrome trace-event JSON artifact with per-worker span
+  lanes and a resource-gauge timeline (tracing is forced on);
 * ``validate`` — check a trace artifact; exit 1 if it is empty or
-  malformed (the CI gate for uploaded traces).
+  malformed (the CI gate for uploaded traces);
+* ``diff``     — compare the phase profiles of two ``PerfBaseline``
+  artifacts with variance-aware thresholds; report-only by default,
+  ``--fail-on-regression`` makes regressions exit 1.
 
-Exit status: 0 on success, 1 on validation findings, 2 on usage errors.
+Exit status: 0 on success, 1 on validation/diff findings, 2 on usage
+errors (unknown dataset, unreadable input file) — never a bare
+traceback for a bad input path.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro import obs
+from repro.obs.diffs import DEFAULT_ABS_FLOOR_S, DEFAULT_REL_TOL
 
 DEFAULT_TRACE_OUT = Path("obs_trace.json")
 
 _VARIANTS = ("gac", "gac-u", "gac-u-r")
+
+#: Registry prefixes that make up the pool-health report section.
+_POOL_PREFIXES = ("parallel.", "shm.")
+
+
+def _fail(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
+def _pool_section(counters: dict[str, int], gauges: dict[str, float]) -> str | None:
+    """The pool-health table, or None when the run never used the pool."""
+    rows = {
+        name: value
+        for source in (counters, gauges)
+        for name, value in source.items()
+        if name.startswith(_POOL_PREFIXES)
+    }
+    if not rows:
+        return None
+    return obs.counters_table(rows, title="pool health").format()
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -29,22 +58,31 @@ def _cmd_report(args: argparse.Namespace) -> int:
     # stay usable in minimal environments (CI artifact checks).
     from repro.anchors.gac import gac, gac_u, gac_u_r
     from repro.datasets import registry
+    from repro.errors import DatasetError
     from repro.graphs.io import read_edge_list
 
-    if args.edges:
-        graph = read_edge_list(args.edges)
-        source = args.edges
-    else:
-        graph = registry.load(args.dataset)
-        source = args.dataset
+    try:
+        if args.edges:
+            graph = read_edge_list(args.edges)
+            source = args.edges
+        else:
+            graph = registry.load(args.dataset)
+            source = args.dataset
+    except DatasetError as exc:
+        return _fail(str(exc))
+    except OSError as exc:
+        return _fail(f"cannot read edge list {args.edges}: {exc}")
     variant = {"gac": gac, "gac-u": gac_u, "gac-u-r": gac_u_r}[args.variant]
 
     run_window = obs.window()
-    with obs.tracing(True):
-        result = variant(graph, args.budget)
+    with obs.ResourceSampler() as sampler, obs.tracing(True):
+        result = variant(graph, args.budget, workers=args.workers)
 
+    label = f"{args.variant} on {source}"
+    if args.workers:
+        label += f" (workers={args.workers})"
     print(
-        f"{args.variant} on {source}: b={args.budget} "
+        f"{label}: b={args.budget} "
         f"anchors={' '.join(str(a) for a in result.anchors)} "
         f"gain={result.total_gain}"
     )
@@ -52,20 +90,27 @@ def _cmd_report(args: argparse.Namespace) -> int:
     stats = obs.phase_profile(run_window.events())
     print(
         obs.profile_table(
-            stats, title=f"phase profile — {args.variant} on {source} (b={args.budget})"
+            stats, title=f"phase profile — {label} (b={args.budget})"
         ).format()
     )
     print()
     print(obs.counters_table(run_window.counters(), title="work counters").format())
+    pool = _pool_section(run_window.counters(), obs.gauges_snapshot())
+    if pool is not None:
+        print()
+        print(pool)
 
     out = Path(args.out)
-    obs.write_chrome_trace(out, run_window.events(), run_window.counters())
+    obs.write_chrome_trace(
+        out, run_window.events(), run_window.counters(), sampler.samples
+    )
     problems = obs.validate_chrome_trace(out)
     if problems:
         for problem in problems:
             print(f"error: {problem}", file=sys.stderr)
         return 1
-    print(f"\nwrote Chrome trace-event JSON to {out}")
+    lanes = len({e.pid for e in run_window.events()})
+    print(f"\nwrote Chrome trace-event JSON to {out} ({lanes} process lane(s))")
     return 0
 
 
@@ -76,6 +121,49 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             print(f"error: {problem}", file=sys.stderr)
         return 1
     print(f"{args.path}: valid Chrome trace-event JSON")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import PerfBaseline
+
+    loaded = []
+    for path in (args.baseline, args.candidate):
+        try:
+            loaded.append(PerfBaseline.load(Path(path)))
+        except OSError as exc:
+            return _fail(f"cannot read baseline {path}: {exc}")
+        except ValueError as exc:
+            return _fail(f"malformed baseline {path}: {exc}")
+    baseline, candidate = loaded
+    deltas = obs.diff_baselines(
+        baseline, candidate, rel_tol=args.rel_tol, abs_floor_s=args.abs_floor
+    )
+    payload = obs.diff_payload(deltas)
+    if args.json:
+        print(json.dumps(payload, indent=1))
+    else:
+        if not deltas:
+            print(
+                "no phase profiles to compare (neither artifact has a "
+                "'phases' breakdown)"
+            )
+        else:
+            print(
+                obs.diff_table(
+                    deltas,
+                    title=f"phase diff — {args.baseline} vs {args.candidate}",
+                ).format()
+            )
+    regressed = payload["regressed"]
+    assert isinstance(regressed, list)
+    if regressed:
+        print(
+            f"{len(regressed)} phase(s) regressed: {', '.join(regressed)}",
+            file=sys.stderr,
+        )
+        if args.fail_on_regression:
+            return 1
     return 0
 
 
@@ -96,6 +184,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--variant", default="gac", choices=_VARIANTS, help="greedy variant to run"
     )
     p_report.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel candidate-scan workers (spans ship back per-worker lanes)",
+    )
+    p_report.add_argument(
         "--out",
         default=str(DEFAULT_TRACE_OUT),
         help=f"trace artifact path (default: {DEFAULT_TRACE_OUT})",
@@ -107,6 +201,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_validate.add_argument("path", help="trace JSON file to check")
     p_validate.set_defaults(func=_cmd_validate)
+
+    p_diff = sub.add_parser(
+        "diff", help="compare phase profiles of two PerfBaseline artifacts"
+    )
+    p_diff.add_argument("baseline", help="baseline BENCH_*.json")
+    p_diff.add_argument("candidate", help="candidate BENCH_*.json")
+    p_diff.add_argument(
+        "--rel-tol",
+        type=float,
+        default=DEFAULT_REL_TOL,
+        help=f"fractional variance band around the baseline (default {DEFAULT_REL_TOL})",
+    )
+    p_diff.add_argument(
+        "--abs-floor",
+        type=float,
+        default=DEFAULT_ABS_FLOOR_S,
+        help="absolute slack in seconds below which deltas never classify "
+        f"(default {DEFAULT_ABS_FLOOR_S})",
+    )
+    p_diff.add_argument(
+        "--json", action="store_true", help="emit the machine-readable payload"
+    )
+    p_diff.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit 1 when any phase regressed (default: report only)",
+    )
+    p_diff.set_defaults(func=_cmd_diff)
     return parser
 
 

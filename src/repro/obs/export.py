@@ -30,6 +30,7 @@ from repro.obs import runtime
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle avoidance)
     from repro.experiments.reporting import PerfBaseline, Table
+    from repro.obs.resources import ResourceSample
 
 
 # ----------------------------------------------------------------------
@@ -99,12 +100,19 @@ def counters_table(
     return table
 
 
-def record_phases(baseline: "PerfBaseline", stats: list[PhaseStat]) -> None:
-    """Merge a phase profile into a perf baseline's ``phases`` list."""
+def record_phases(
+    baseline: "PerfBaseline", stats: list[PhaseStat], prefix: str = ""
+) -> None:
+    """Merge a phase profile into a perf baseline's ``phases`` list.
+
+    ``prefix`` namespaces the phase names (``"serial/"``, ``"w4/"``) so
+    one baseline can carry profiles from several configurations and
+    ``python -m repro.obs diff`` compares like with like.
+    """
     for stat in stats:
         baseline.phases.append(
             {
-                "phase": stat.name,
+                "phase": prefix + stat.name,
                 "calls": stat.calls,
                 "total_s": round(stat.total_s, 6),
                 "self_s": round(stat.self_s, 6),
@@ -118,31 +126,79 @@ def record_phases(baseline: "PerfBaseline", stats: list[PhaseStat]) -> None:
 def chrome_trace(
     events: list[runtime.SpanEvent] | None = None,
     counters: dict[str, int] | None = None,
+    resources: "list[ResourceSample] | None" = None,
 ) -> dict[str, object]:
     """The Chrome trace-event payload for the given span events.
 
     Every span becomes a complete ("ph": "X") event with microsecond
-    timestamps relative to the earliest span; the counter registry rides
-    along under ``otherData`` so one artifact carries both signals.
+    timestamps relative to the earliest span/sample, laid out in the
+    lane of the process that recorded it (``SpanEvent.pid``; 0 is the
+    parent). Each lane gets a ``process_name`` metadata ("M") event so
+    Perfetto labels worker lanes by pid. ``resources`` (a
+    :class:`~repro.obs.resources.ResourceSample` timeline) becomes
+    Chrome counter ("C") events — ``resource.rss_mb`` and
+    ``resource.cpu_s`` — plotted above the parent lane. The counter
+    registry rides along under ``otherData`` so one artifact carries
+    every signal.
     """
     if events is None:
         events = runtime.events()
     if counters is None:
         counters = runtime.counters_snapshot()
-    origin = min((e.start for e in events), default=0.0)
+    samples = resources or []
+    # The time origin must precede *every* emitted timestamp — samplers
+    # typically start before the first span closes, so take the min
+    # across both series.
+    candidates = [e.start for e in events] + [s.t for s in samples]
+    origin = min(candidates) if candidates else 0.0
     trace_events: list[dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "parent" if pid == 0 else f"worker-{pid}"},
+        }
+        for pid in sorted({e.pid for e in events})
+    ]
+    trace_events.extend(
         {
             "name": event.name,
             "cat": "repro",
             "ph": "X",
             "ts": round((event.start - origin) * 1e6, 3),
             "dur": round(event.duration * 1e6, 3),
-            "pid": 0,
+            "pid": event.pid,
             "tid": 0,
             "args": {key: _jsonable(value) for key, value in event.args.items()},
         }
         for event in events
-    ]
+    )
+    for s in samples:
+        ts = round((s.t - origin) * 1e6, 3)
+        if s.rss_kb is not None:
+            trace_events.append(
+                {
+                    "name": "resource.rss_mb",
+                    "cat": "repro",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {"rss_mb": round(s.rss_kb / 1024.0, 3)},
+                }
+            )
+        trace_events.append(
+            {
+                "name": "resource.cpu_s",
+                "cat": "repro",
+                "ph": "C",
+                "ts": ts,
+                "pid": 0,
+                "tid": 0,
+                "args": {"user_s": round(s.user_s, 3), "sys_s": round(s.sys_s, 3)},
+            }
+        )
     return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
@@ -160,10 +216,11 @@ def write_chrome_trace(
     path: Path | str,
     events: list[runtime.SpanEvent] | None = None,
     counters: dict[str, int] | None = None,
+    resources: "list[ResourceSample] | None" = None,
 ) -> Path:
     """Serialize :func:`chrome_trace` to ``path`` (trailing newline)."""
     target = Path(path)
-    payload = chrome_trace(events, counters)
+    payload = chrome_trace(events, counters, resources)
     target.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
     return target
 
@@ -189,21 +246,48 @@ def validate_chrome_trace(path: Path | str) -> list[str]:
     if not isinstance(events, list):
         return [f"{target}: 'traceEvents' must be a list"]
     problems: list[str] = []
-    if not events:
-        problems.append(f"{target}: trace is empty (no span events recorded)")
+    spans = 0
     for i, event in enumerate(events):
         if not isinstance(event, dict):
             problems.append(f"{target}: traceEvents[{i}] is not an object")
             continue
         if not isinstance(event.get("name"), str) or not event.get("name"):
             problems.append(f"{target}: traceEvents[{i}] has no name")
-        if event.get("ph") != "X":
-            problems.append(f"{target}: traceEvents[{i}] is not a complete event")
-        for field_name in ("ts", "dur"):
-            value = event.get(field_name)
-            if not isinstance(value, (int, float)) or value < 0:
+        phase = event.get("ph")
+        if phase == "X":
+            spans += 1
+            for field_name in ("ts", "dur"):
+                value = event.get(field_name)
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(
+                        f"{target}: traceEvents[{i}].{field_name} must be a "
+                        "non-negative number"
+                    )
+        elif phase == "C":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
                 problems.append(
-                    f"{target}: traceEvents[{i}].{field_name} must be a "
+                    f"{target}: traceEvents[{i}].ts must be a "
                     "non-negative number"
                 )
+            args = event.get("args")
+            if not isinstance(args, dict) or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                problems.append(
+                    f"{target}: counter traceEvents[{i}] args must be "
+                    "numeric series"
+                )
+        elif phase == "M":
+            if not isinstance(event.get("args"), dict):
+                problems.append(
+                    f"{target}: metadata traceEvents[{i}] has no args"
+                )
+        else:
+            problems.append(
+                f"{target}: traceEvents[{i}] has unsupported phase "
+                f"{phase!r} (expected X, C, or M)"
+            )
+    if not spans:
+        problems.append(f"{target}: trace is empty (no span events recorded)")
     return problems

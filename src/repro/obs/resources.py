@@ -1,0 +1,124 @@
+"""Process resource sampling: RSS + CPU gauge timelines for the trace.
+
+A stdlib-only background sampler: every ``interval_s`` it reads
+``/proc/self/status`` (``VmRSS``) and ``os.times()`` (user/system CPU
+seconds) and appends a timestamped :class:`ResourceSample`. Samples are
+timestamped with :func:`repro.obs.runtime.clock`, the same timebase the
+span collector uses, so the exporter can lay the resource timeline next
+to the span lanes as Chrome counter (``"C"``) events.
+
+Off Linux there is no ``/proc`` — :func:`read_rss_kb` returns ``None``
+and the sampler gracefully degrades to a CPU-only timeline; nothing
+raises. The sampler never touches the counter/gauge registry from its
+thread (samples live on the sampler object), so it cannot race the
+algorithms it observes.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+
+from repro.obs import runtime
+
+_PROC_STATUS = "/proc/self/status"
+
+#: Default sampling cadence: fine enough to see per-iteration RSS
+#: movement on second-scale runs, coarse enough to stay invisible in
+#: the profiles (two syscalls + one small file read per tick).
+DEFAULT_INTERVAL_S = 0.05
+
+
+@dataclass(frozen=True)
+class ResourceSample:
+    """One resource reading on the span-collector timebase.
+
+    Attributes:
+        t: :func:`repro.obs.runtime.clock` reading at the sample.
+        rss_kb: resident set size in kB (``None`` off Linux).
+        user_s: cumulative user-mode CPU seconds (``os.times``).
+        sys_s: cumulative kernel-mode CPU seconds.
+    """
+
+    t: float
+    rss_kb: int | None
+    user_s: float
+    sys_s: float
+
+
+def read_rss_kb() -> int | None:
+    """``VmRSS`` from ``/proc/self/status`` in kB, or ``None`` when the
+    procfs line is unavailable/unparseable (non-Linux hosts)."""
+    try:
+        with open(_PROC_STATUS, encoding="ascii") as status:
+            for line in status:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+def sample() -> ResourceSample:
+    """One immediate resource reading (usable without the thread)."""
+    times = os.times()
+    return ResourceSample(
+        t=runtime.clock(),
+        rss_kb=read_rss_kb(),
+        user_s=times.user,
+        sys_s=times.system,
+    )
+
+
+class ResourceSampler:
+    """A daemon-thread sampler collecting a resource-gauge timeline.
+
+    Usage::
+
+        with obs.ResourceSampler() as sampler:
+            gac(graph, budget)
+        obs.write_chrome_trace(path, events, counters, sampler.samples)
+
+    ``start``/``stop`` each take one synchronous sample, so even a run
+    shorter than the interval yields a two-point timeline (enough for
+    the trace validator's "is there a resource timeline" check).
+    ``stop`` is idempotent; the thread is a daemon, so a crashed run
+    never hangs on it.
+    """
+
+    def __init__(self, interval_s: float = DEFAULT_INTERVAL_S) -> None:
+        self.interval_s = interval_s
+        self.samples: list[ResourceSample] = []
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self.samples.append(sample())
+        self._thread = threading.Thread(
+            target=self._run, name="obs-resource-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.samples.append(sample())
+
+    def stop(self) -> None:
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+        self.samples.append(sample())
+
+    def __enter__(self) -> "ResourceSampler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

@@ -73,6 +73,17 @@ PARALLEL_DISPATCHES = "parallel.dispatches"
 PARALLEL_CHUNKS = "parallel.chunks"
 #: Worker results that fell back to the pickle channel (row overflow).
 PARALLEL_RESULT_OVERFLOWS = "parallel.result_overflows"
+#: Worker span batches merged into the parent trace (repro.parallel).
+PARALLEL_SPAN_BATCHES = "parallel.span_batches"
+#: Worker-recorded span events shipped back and merged by the parent.
+PARALLEL_SPANS_SHIPPED = "parallel.spans_shipped"
+#: Worker state lookups served by the cached AnchoredState as-is.
+PARALLEL_STATE_HITS = "parallel.state_cache_hits"
+#: Worker state lookups that advanced the cache incrementally
+#: (apply_anchor replays over a lineage extension).
+PARALLEL_STATE_ADVANCES = "parallel.state_advances"
+#: Worker state lookups that rebuilt from scratch (divergent lineage).
+PARALLEL_STATE_REBUILDS = "parallel.state_rebuilds"
 #: Round-boundary checkpoint files written (repro.checkpoint).
 CHECKPOINT_WRITES = "checkpoint.writes"
 #: Checkpoint files loaded to resume a greedy run.
@@ -172,6 +183,22 @@ def events() -> list["SpanEvent"]:
     return list(_events)
 
 
+def record_imported(imported: "list[SpanEvent]") -> int:
+    """Append span events recorded in *another* process to the collector.
+
+    The parallel pool merges worker-shipped span batches through this:
+    the tracing gate was already applied where the events were recorded
+    (workers only ship when the dispatch was traced), so the append is
+    unconditional apart from :func:`suspended` — an oracle must never
+    grow the trace, not even with foreign events. Returns how many
+    events were actually appended (0 while suspended).
+    """
+    if _suspend_depth:
+        return 0
+    _events.extend(imported)
+    return len(imported)
+
+
 def reset() -> None:
     """Clear counters, gauges, and recorded span events."""
     _counters.clear()
@@ -195,6 +222,10 @@ class SpanEvent:
             spans (the phase-profile "self" column).
         depth: nesting depth at entry (0 = top level).
         args: the keyword attributes passed to :func:`span`.
+        pid: the process the span was recorded in — 0 means *this*
+            process (the historical single-process trace); worker-shipped
+            events carry the worker's OS pid so exporters can lay them
+            out in per-process lanes.
     """
 
     name: str
@@ -203,6 +234,7 @@ class SpanEvent:
     self_time: float
     depth: int
     args: dict[str, object]
+    pid: int = 0
 
 
 class Span:

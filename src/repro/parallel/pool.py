@@ -20,6 +20,16 @@ Adaptive sizing is results-safe because the greedy's replay phase
 discards speculative extras — a bigger or smaller chunk can only change
 *work*, never the selected anchor.
 
+Observability: every chunk return piggybacks a small telemetry tuple
+(worker pid, execute start/end clocks, lineage-cache deltas, and — for
+traced dispatches — the worker's span batch, see
+:mod:`repro.obs.shipping`). The pool folds it into the registry as
+``parallel.*`` health gauges/counters (dispatch latency, queue-wait vs
+execute time, per-worker busy seconds, utilization, EWMA chunk sizing,
+cache hit/advance/rebuild counts) and merges shipped spans into the
+parent trace with per-worker pid lanes. Telemetry observes only: the
+merged results are byte-identical whether or not tracing is on.
+
 Failure model: any worker/pickling/executor/decode error marks the pool
 ``broken`` and propagates to the caller, which falls back to the serial
 scan — dispatch never mutates shared algorithm state, so a failed batch
@@ -37,6 +47,7 @@ from concurrent.futures import ProcessPoolExecutor
 from repro import obs as _obs
 from repro.core.tree import NodeId
 from repro.faults import fault_point as _fault_point
+from repro.obs import shipping as _shipping
 from repro.graphs.csr import csr_view
 from repro.graphs.graph import Graph, Vertex
 from repro.parallel import worker as _worker
@@ -128,6 +139,7 @@ class CandidateScanPool:
     __slots__ = (
         "workers",
         "broken",
+        "spans_shipped",
         "_shared",
         "_executor",
         "_results",
@@ -135,6 +147,11 @@ class CandidateScanPool:
         "_index",
         "_latency",
         "_use_shm_results",
+        "_chunk_seq",
+        "_busy_by_pid",
+        "_busy_total",
+        "_elapsed_total",
+        "_queue_wait_total",
     )
 
     def __init__(
@@ -154,9 +171,16 @@ class CandidateScanPool:
             )
         self.workers = workers
         self.broken = False
+        #: Worker span events merged into the parent trace so far.
+        self.spans_shipped = 0
         self._labels = csr.labels
         self._index = csr.index
         self._latency: float | None = None
+        self._chunk_seq = 0
+        self._busy_by_pid: dict[int, float] = {}
+        self._busy_total = 0.0
+        self._elapsed_total = 0.0
+        self._queue_wait_total = 0.0
         self._results: SharedResults | None = None
         self._use_shm_results = (
             os.environ.get(ENV_RESULTS, "").strip().lower() != "pickle"
@@ -286,19 +310,27 @@ class CandidateScanPool:
         """
         n = len(tasks)
         header: _worker.ChunkHeader = (epoch, anchors)
+        trace = _obs.tracing_enabled()
         try:
             handle = self._ensure_results(n)
             size = self._chunk_tasks(n)
             payloads: list[_worker.ChunkPayload] = []
             slot_base = 0
             for chunk in chunked(tasks, size):
-                payloads.append((header, slot_base, handle, tuple(chunk)))
+                payloads.append(
+                    (header, slot_base, handle, tuple(chunk), (self._chunk_seq, trace))
+                )
+                self._chunk_seq += 1
                 slot_base += len(chunk)
             _fault_point("parallel.dispatch")
             start = _obs.clock()
-            overflows = list(self._executor.map(_worker.evaluate_chunk, payloads))
+            returns = list(self._executor.map(_worker.evaluate_chunk, payloads))
             elapsed = _obs.clock() - start
+            overflows = [chunk_return[0] for chunk_return in returns]
             results, overflowed = self._merge(payloads, overflows, handle)
+            self._record_health(
+                [chunk_return[1] for chunk_return in returns], start, elapsed
+            )
         except Exception:
             self.broken = True
             raise
@@ -308,12 +340,72 @@ class CandidateScanPool:
             if self._latency is None
             else 0.5 * (self._latency + per_task)
         )
+        _obs.gauge("parallel.task_latency_ewma_s", self._latency)
+        _obs.gauge("parallel.chunk_size", size)
+        _obs.gauge("parallel.dispatch_window", self.dispatch_size())
         _obs.add(_obs.PARALLEL_TASKS, n)
         _obs.add(_obs.PARALLEL_CHUNKS, len(payloads))
         _obs.add(_obs.PARALLEL_DISPATCHES)
         if overflowed:
             _obs.add(_obs.PARALLEL_RESULT_OVERFLOWS, overflowed)
         return results
+
+    def _record_health(
+        self,
+        telemetry: "list[_worker.ChunkTelemetry]",
+        dispatch_start: float,
+        elapsed: float,
+    ) -> None:
+        """Fold one dispatch's worker telemetry into the obs registry.
+
+        Per chunk the worker reports its pid, execute start/end clocks
+        (``perf_counter`` is ``CLOCK_MONOTONIC`` on Linux, so parent and
+        worker readings share a timebase; elsewhere queue-wait figures
+        are best-effort), lineage-cache deltas, and the span batch for
+        traced dispatches. Everything lands in gauges/counters so
+        ``python -m repro.obs report`` can print a pool section without
+        holding a pool reference.
+        """
+        busy = 0.0
+        queue_wait = 0.0
+        hits = advances = rebuilds = 0
+        batches = 0
+        shipped = 0
+        for pid, _chunk_id, exec_start, exec_end, cache_deltas, batch in telemetry:
+            busy += exec_end - exec_start
+            queue_wait += max(0.0, exec_start - dispatch_start)
+            hits += cache_deltas[0]
+            advances += cache_deltas[1]
+            rebuilds += cache_deltas[2]
+            self._busy_by_pid[pid] = self._busy_by_pid.get(pid, 0.0) + (
+                exec_end - exec_start
+            )
+            if batch:
+                batches += 1
+                shipped += _shipping.absorb_batch(batch, pid)
+        self._busy_total += busy
+        self._elapsed_total += elapsed
+        self._queue_wait_total += queue_wait
+        self.spans_shipped += shipped
+        if hits:
+            _obs.add(_obs.PARALLEL_STATE_HITS, hits)
+        if advances:
+            _obs.add(_obs.PARALLEL_STATE_ADVANCES, advances)
+        if rebuilds:
+            _obs.add(_obs.PARALLEL_STATE_REBUILDS, rebuilds)
+        if batches:
+            _obs.add(_obs.PARALLEL_SPAN_BATCHES, batches)
+            _obs.add(_obs.PARALLEL_SPANS_SHIPPED, shipped)
+        _obs.gauge("parallel.dispatch_latency_s", elapsed)
+        _obs.gauge("parallel.queue_wait_s", self._queue_wait_total)
+        _obs.gauge("parallel.execute_s", self._busy_total)
+        if self._elapsed_total > 0:
+            _obs.gauge(
+                "parallel.utilization",
+                min(1.0, self._busy_total / (self._elapsed_total * self.workers)),
+            )
+        for pid, busy_s in sorted(self._busy_by_pid.items()):
+            _obs.gauge(f"parallel.worker.{pid}.busy_s", busy_s)
 
     def _merge(
         self,
@@ -325,7 +417,7 @@ class CandidateScanPool:
         results: list[_worker.TaskResult] = []
         overflowed = 0
         for payload, chunk_overflow in zip(payloads, overflows):
-            _header, slot_base, _handle, chunk_tasks = payload
+            _header, slot_base, _handle, chunk_tasks, _meta = payload
             by_offset = dict(chunk_overflow)
             overflowed += len(chunk_overflow)
             for offset, (candidate, _reusable) in enumerate(chunk_tasks):

@@ -48,6 +48,7 @@ from array import array
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 
+from repro import obs as _obs
 from repro.graphs.csr import CSRGraph
 from repro.graphs.graph import Vertex
 
@@ -137,6 +138,7 @@ class SharedCSR:
             itemsize=csr.indptr.itemsize,
             labels=None if identity else tuple(labels),
         )
+        _obs.gauge("shm.csr_bytes", size)
         return cls(shm, handle)
 
     def close(self) -> None:
@@ -271,6 +273,7 @@ class SharedResults:
         handle = ResultsHandle(
             name=shm.name, rows=rows, row_ints=row_ints, itemsize=_INT_SIZE
         )
+        _obs.gauge("shm.result_bytes", size)
         return cls(shm, handle)
 
     def row(self, slot: int) -> list[int]:

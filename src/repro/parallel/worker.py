@@ -33,19 +33,30 @@ Determinism contract: a worker's state for a lineage equals
 ``AnchoredState.build(graph, set(lineage))`` structurally, and every
 derived structure is deterministic given graph + anchor set, so
 per-candidate follower reports are byte-identical to what the serial
-scan would compute. Tracing and verification are forced off in workers;
-the work counters of each evaluation are captured as a registry
+scan would compute. Verification is forced off in workers; the work
+counters of each evaluation are captured as a registry
 :class:`~repro.obs.Window` delta and shipped back for the parent's
 deterministic merge (state rebuilds run suspended — the serial scan
 builds its state once outside the candidate loop too).
+
+Tracing follows the *dispatch*: each chunk carries an explicit flag
+(the parent's ``tracing_enabled()`` at dispatch time — explicit so fork
+and spawn behave identically), and a traced chunk records spans through
+:func:`repro.obs.shipping.worker_tracing` and ships them back in the
+chunk's :data:`ChunkTelemetry`, tagged with the worker pid. Spans
+observe, they never steer: traced and untraced chunks produce
+byte-identical results, and an untraced chunk pays only the old
+forced-off gate.
 """
 
 from __future__ import annotations
 
 import atexit
+import os
 from array import array
 
 from repro import obs as _obs
+from repro.obs import shipping as _shipping
 from repro.anchors.followers import find_followers, followers_naive
 from repro.anchors.incremental import apply_anchor
 from repro.anchors.state import AnchoredState
@@ -69,9 +80,15 @@ ChunkHeader = tuple[int, "tuple[Vertex, ...]"]
 #: One candidate evaluation: (candidate, validated reuse counts —
 #: ``None`` on the no-reuse / naive paths).
 Task = tuple[Vertex, "dict[NodeId, int] | None"]
+#: Per-chunk shipping directives: (chunk id, unique within a pool's
+#: lifetime; whether this chunk records and ships worker spans).
+ChunkMeta = tuple[int, bool]
 #: One dispatched chunk: (header, first result slot, result-block
-#: handle — ``None`` forces the pickle channel — and the tasks).
-ChunkPayload = tuple[ChunkHeader, int, "ResultsHandle | None", "tuple[Task, ...]"]
+#: handle — ``None`` forces the pickle channel — the tasks, and the
+#: shipping directives).
+ChunkPayload = tuple[
+    ChunkHeader, int, "ResultsHandle | None", "tuple[Task, ...]", ChunkMeta
+]
 #: One result: (candidate, follower total, per-node counts for the
 #: reuse cache — ``None`` on the naive path — and the counter deltas
 #: this evaluation produced).
@@ -79,6 +96,16 @@ TaskResult = tuple[Vertex, int, "dict[NodeId, int] | None", "dict[str, int]"]
 #: A chunk's pickle-channel return: only the results that did not fit
 #: their shared row, as (offset within the chunk, result).
 ChunkOverflow = list[tuple[int, TaskResult]]
+#: Worker-side telemetry piggybacked on every chunk return: (worker
+#: pid, echoed chunk id, execute start/end ``obs.clock`` readings —
+#: ``CLOCK_MONOTONIC``, comparable with the parent's dispatch clock on
+#: the same host — lineage-cache (hits, advances, rebuilds) deltas,
+#: and the shipped span batch, ``None`` for untraced chunks).
+ChunkTelemetry = tuple[
+    int, int, float, float, "tuple[int, int, int]", "_shipping.SpanBatch | None"
+]
+#: What ``evaluate_chunk`` returns over the executor's pickle channel.
+ChunkReturn = tuple[ChunkOverflow, ChunkTelemetry]
 
 #: Row layout: [candidate id + 1, follower total, n_counts] + one int
 #: per agreed counter name + ``(node id, count)`` pairs. The +1 tag
@@ -104,6 +131,7 @@ class _WorkerState:
         "state",
         "base",
         "results",
+        "cache_stats",
     )
 
     def __init__(
@@ -123,12 +151,15 @@ class _WorkerState:
         self.state: AnchoredState | None = None
         self.base: CoreDecomposition | None = None
         self.results: AttachedResults | None = None
+        #: Cumulative lineage-cache [hits, advances, rebuilds]; chunks
+        #: ship per-chunk deltas of these to the parent's registry.
+        self.cache_stats: list[int] = [0, 0, 0]
 
 
 _state: _WorkerState | None = None
 
 
-def init_worker(
+def init_worker(  # lint: obs-ok runs once before any traced dispatch; nothing to ship
     handle: SharedCSRHandle,
     follower_method: str,
     counter_names: tuple[str, ...] = (),
@@ -166,6 +197,7 @@ def _state_for(epoch: int, lineage: "tuple[Vertex, ...]") -> _WorkerState:
     if worker is None:
         raise RuntimeError("worker used before init_worker ran")
     if worker.epoch == epoch and worker.lineage == lineage:
+        worker.cache_stats[0] += 1
         return worker
     anchor_set = frozenset(lineage)
     cached = worker.lineage
@@ -173,6 +205,7 @@ def _state_for(epoch: int, lineage: "tuple[Vertex, ...]") -> _WorkerState:
         if worker.follower_method == "naive":
             worker.base = core_decomposition(worker.graph, anchor_set)
             worker.state = None
+            worker.cache_stats[2] += 1
         elif (
             worker.state is not None
             and cached is not None
@@ -181,9 +214,11 @@ def _state_for(epoch: int, lineage: "tuple[Vertex, ...]") -> _WorkerState:
         ):
             for x in lineage[len(cached) :]:
                 apply_anchor(worker.state, x, compute_removals=False)
+            worker.cache_stats[1] += 1
         else:
             worker.state = AnchoredState.build(worker.graph, anchor_set)
             worker.base = None
+            worker.cache_stats[2] += 1
     worker.epoch = epoch
     worker.lineage = lineage
     return worker
@@ -248,49 +283,70 @@ def _encode_row(
     return True
 
 
-def evaluate_chunk(payload: ChunkPayload) -> ChunkOverflow:
+def evaluate_chunk(payload: ChunkPayload) -> ChunkReturn:
     """Evaluate one chunk of candidates; results go to shared rows.
 
-    Returns only the results that did not fit their row (or everything,
-    as ``(offset, result)`` pairs, when the parent dispatched without a
-    result block). Hosts the ``worker.task_start`` and
-    ``worker.follower_eval`` fault sites per task; both fire *before*
-    the counter window opens, so an armed ``delay`` never leaks extra
-    counts into the shipped deltas.
+    The overflow half of the return holds only the results that did not
+    fit their row (or everything, as ``(offset, result)`` pairs, when
+    the parent dispatched without a result block); the telemetry half
+    carries the worker pid, chunk id, execute start/end clocks,
+    lineage-cache deltas, and — for traced chunks — the span batch. A
+    traced chunk wraps its task loop in a ``worker.chunk`` span (inner
+    ``followers.search`` spans nest under it), recorded via
+    :func:`repro.obs.shipping.worker_tracing`. Hosts the
+    ``worker.task_start`` and ``worker.follower_eval`` fault sites per
+    task; both fire *before* the counter window opens, so an armed
+    ``delay`` never leaks extra counts into the shipped deltas.
     """
-    (epoch, lineage), slot_base, results_handle, tasks = payload
+    (epoch, lineage), slot_base, results_handle, tasks, (chunk_id, trace) = payload
     overflow: ChunkOverflow = []
-    with _obs.tracing(False), _verification(False):
+    started = _obs.clock()
+    stats_base = tuple(_state.cache_stats) if _state is not None else (0, 0, 0)
+    with _shipping.worker_tracing(trace) as capture, _verification(False):
         results = _results_for(results_handle)
         anchors = frozenset(lineage)
-        for offset, (candidate, reusable) in enumerate(tasks):
-            _fault_point("worker.task_start")
-            worker = _state_for(epoch, lineage)
-            _fault_point("worker.follower_eval")
-            window = _obs.window()
-            if worker.follower_method == "naive":
-                total = len(
-                    followers_naive(
-                        worker.graph, candidate, anchors=anchors, base=worker.base
+        with _obs.span("worker.chunk", chunk=chunk_id, tasks=len(tasks)):
+            for offset, (candidate, reusable) in enumerate(tasks):
+                _fault_point("worker.task_start")
+                worker = _state_for(epoch, lineage)
+                _fault_point("worker.follower_eval")
+                window = _obs.window()
+                if worker.follower_method == "naive":
+                    total = len(
+                        followers_naive(
+                            worker.graph, candidate, anchors=anchors, base=worker.base
+                        )
                     )
+                    counts: dict[NodeId, int] | None = None
+                else:
+                    state = worker.state
+                    assert state is not None  # _state_for always builds one
+                    report = find_followers(state, candidate, reusable_counts=reusable)
+                    total = report.total
+                    counts = dict(report.counts)
+                deltas = window.counters()
+                encoded = results is not None and _encode_row(
+                    results,
+                    slot_base + offset,
+                    worker,
+                    worker.attachment.csr.index[candidate],
+                    total,
+                    counts,
+                    deltas,
                 )
-                counts: dict[NodeId, int] | None = None
-            else:
-                state = worker.state
-                assert state is not None  # _state_for always builds one
-                report = find_followers(state, candidate, reusable_counts=reusable)
-                total = report.total
-                counts = dict(report.counts)
-            deltas = window.counters()
-            encoded = results is not None and _encode_row(
-                results,
-                slot_base + offset,
-                worker,
-                worker.attachment.csr.index[candidate],
-                total,
-                counts,
-                deltas,
-            )
-            if not encoded:
-                overflow.append((offset, (candidate, total, counts, deltas)))
-    return overflow
+                if not encoded:
+                    overflow.append((offset, (candidate, total, counts, deltas)))
+    stats_now = _state.cache_stats if _state is not None else [0, 0, 0]
+    telemetry: ChunkTelemetry = (
+        os.getpid(),
+        chunk_id,
+        started,
+        _obs.clock(),
+        (
+            stats_now[0] - stats_base[0],
+            stats_now[1] - stats_base[1],
+            stats_now[2] - stats_base[2],
+        ),
+        capture.batch(),
+    )
+    return overflow, telemetry

@@ -1,0 +1,39 @@
+"""Seeded L3 worker-entry violations: pool-submitted functions that
+never reach the worker-side span API (repro.obs.shipping).
+
+``plain_obs_chunk`` is the sharpened case: it *does* touch ``repro.obs``
+(which satisfies the ordinary hot-path rule) but records into the
+worker-local collector that never reaches the parent trace — the
+worker-entry rule must still fire on it.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro import obs as _obs
+from repro.obs import shipping as _shipping
+
+
+def shipped_chunk(payload):
+    # Negative control: wraps the work in the worker-side span API.
+    with _shipping.worker_tracing(payload[1]) as capture:
+        with _obs.span("worker.chunk"):
+            pass
+    return capture.batch()
+
+
+def plain_obs_chunk(payload):
+    # L3 (worker flavour): spans recorded here are worker-local and
+    # vanish — plain obs access must not count as coverage.
+    with _obs.span("worker.chunk"):
+        return payload
+
+
+def waived_chunk(payload):  # lint: obs-ok corpus negative control, untraced fast path
+    return payload
+
+
+def dispatch(tasks):
+    with _obs.span("pool.dispatch"), ProcessPoolExecutor(2) as pool:
+        list(pool.map(shipped_chunk, tasks))
+        list(pool.map(plain_obs_chunk, tasks))
+        list(pool.map(waived_chunk, tasks))

@@ -153,6 +153,15 @@ class TestProjectModel:
         # gac() never calls obs directly but reaches it through callees.
         assert model.reaches_obs("repro.anchors.gac:gac")
 
+    def test_real_tree_worker_obs_reach(self):
+        model, _ = build_project([SRC])
+        # evaluate_chunk ships spans; init_worker deliberately does not
+        # (it carries an obs-ok waiver instead).
+        assert model.reaches_worker_obs("repro.parallel.worker:evaluate_chunk")
+        assert not model.reaches_worker_obs("repro.parallel.worker:init_worker")
+        # Ordinary obs reach is a weaker property than worker-obs reach.
+        assert model.reaches_obs("repro.parallel.worker:evaluate_chunk")
+
 
 # ----------------------------------------------------------------------
 # The four passes against the seeded corpus (acceptance criterion:
@@ -202,9 +211,24 @@ class TestSeededCorpus:
 
     def test_obs_coverage_flags_only_the_naked_function(self):
         diags = corpus_diags("obs_coverage", passes=["L3"])
-        assert len(diags) == 1
-        assert "naked_choice" in diags[0].message
+        messages = [d.message for d in diags]
+        assert len(diags) == 2
+        assert any("naked_choice" in m for m in messages)
         # instrumented / counted / waived / private: all quiet.
+
+    def test_obs_coverage_worker_entries_need_shipping(self):
+        diags = corpus_diags("obs_coverage", passes=["L3"])
+        worker = [d for d in diags if "worker entry point" in d.message]
+        assert len(worker) == 1
+        # plain obs access is NOT coverage for a pool-submitted function…
+        assert "plain_obs_chunk" in worker[0].message
+        assert "repro.obs.shipping" in worker[0].message
+        # …while the shipped and waived entries stay quiet, and dispatch
+        # (parent-side, ordinary span coverage) is not a worker entry.
+        silent = " | ".join(d.message for d in diags)
+        assert "shipped_chunk" not in silent
+        assert "waived_chunk" not in silent
+        assert "dispatch" not in silent
 
     def test_checkpoint_contract_both_directions(self):
         diags = corpus_diags("checkpoint_contract", passes=["L4"])

@@ -151,11 +151,56 @@ class TestExporters:
         obs.write_chrome_trace(path, events, {obs.GAC_ITERATIONS: 3})
         assert obs.validate_chrome_trace(path) == []
         document = json.loads(path.read_text(encoding="utf-8"))
-        assert len(document["traceEvents"]) == len(events)
+        spans = [row for row in document["traceEvents"] if row["ph"] == "X"]
+        lanes = [row for row in document["traceEvents"] if row["ph"] == "M"]
+        assert len(spans) == len(events)
+        assert [lane["args"]["name"] for lane in lanes] == ["parent"]
         assert document["otherData"]["counters"][obs.GAC_ITERATIONS] == 3
-        for row in document["traceEvents"]:
-            assert row["ph"] == "X"
+        for row in spans:
             assert row["ts"] >= 0 and row["dur"] >= 0
+            assert row["pid"] == 0
+
+    def test_chrome_trace_worker_lanes(self, tmp_path):
+        from repro.obs import shipping
+
+        events = self._events()
+        batch = shipping.encode_events(events)
+        events = events + shipping.decode_batch(batch, pid=4242)
+        path = tmp_path / "trace.json"
+        obs.write_chrome_trace(path, events, {})
+        assert obs.validate_chrome_trace(path) == []
+        document = json.loads(path.read_text(encoding="utf-8"))
+        lanes = {
+            row["args"]["name"]
+            for row in document["traceEvents"]
+            if row["ph"] == "M"
+        }
+        assert lanes == {"parent", "worker-4242"}
+        worker_spans = [
+            row
+            for row in document["traceEvents"]
+            if row["ph"] == "X" and row["pid"] == 4242
+        ]
+        assert len(worker_spans) == len(batch)
+
+    def test_chrome_trace_resource_timeline(self, tmp_path):
+        from repro.obs import resources
+
+        events = self._events()
+        samples = [
+            resources.ResourceSample(t=events[0].start, rss_kb=2048, user_s=0.1, sys_s=0.0),
+            resources.ResourceSample(t=events[0].start + 0.01, rss_kb=None, user_s=0.2, sys_s=0.1),
+        ]
+        path = tmp_path / "trace.json"
+        obs.write_chrome_trace(path, events, {}, samples)
+        assert obs.validate_chrome_trace(path) == []
+        document = json.loads(path.read_text(encoding="utf-8"))
+        gauges = [row for row in document["traceEvents"] if row["ph"] == "C"]
+        names = [row["name"] for row in gauges]
+        # rss_mb is skipped for the rss_kb=None sample, cpu_s never is.
+        assert names.count("resource.rss_mb") == 1
+        assert names.count("resource.cpu_s") == 2
+        assert gauges[0]["args"]["rss_mb"] == pytest.approx(2.0)
 
     def test_validate_flags_empty_trace(self, tmp_path):
         path = tmp_path / "empty.json"
@@ -182,6 +227,249 @@ class TestExporters:
             "phase.a",
             "phase.b",
         }
+
+
+class TestWindowUnderSuspension:
+    """Window snapshot-diffs must stay coherent under nested suspension."""
+
+    def test_nested_suspended_mutes_everything_reentrantly(self):
+        window = obs.window()
+        obs.add(obs.GAC_ITERATIONS)
+        with obs.tracing(True):
+            with obs.suspended():
+                obs.add(obs.GAC_ITERATIONS, 10)
+                with obs.suspended():  # nested — must not unmute on exit
+                    obs.add(obs.GAC_ITERATIONS, 100)
+                    with obs.span("inner.hidden"):
+                        pass
+                obs.add(obs.GAC_ITERATIONS, 1000)
+                with obs.span("outer.hidden"):
+                    pass
+            obs.add(obs.GAC_ITERATIONS, 2)
+            with obs.span("visible"):
+                pass
+        assert window.counter(obs.GAC_ITERATIONS) == 3
+        assert [e.name for e in window.events()] == ["visible"]
+
+    def test_window_opened_inside_suspension_sees_later_deltas(self):
+        with obs.suspended():
+            obs.add(obs.GAC_ITERATIONS, 5)
+            window = obs.window()
+        obs.add(obs.GAC_ITERATIONS, 2)
+        assert window.counter(obs.GAC_ITERATIONS) == 2
+
+    def test_suspension_mutes_imported_batches(self):
+        from repro.obs import shipping
+
+        window = obs.window()
+        batch = shipping.encode_events(
+            [runtime.SpanEvent("w", 0.0, 1.0, 1.0, 0, {})]
+        )
+        with obs.suspended():
+            assert shipping.absorb_batch(batch, pid=7) == 0
+        assert window.events() == []
+        assert shipping.absorb_batch(batch, pid=7) == 1
+        (event,) = window.events()
+        assert (event.name, event.pid) == ("w", 7)
+
+
+class TestSpanShipping:
+    def test_encode_decode_round_trip(self):
+        from repro.obs import shipping
+
+        window = obs.window()
+        with obs.tracing(True):
+            with obs.span("chunk", chunk=3):
+                with obs.span("task"):
+                    pass
+        events = window.events()
+        decoded = shipping.decode_batch(shipping.encode_events(events), pid=99)
+        assert [(e.name, e.depth, e.args) for e in decoded] == [
+            (e.name, e.depth, e.args) for e in events
+        ]
+        assert all(e.pid == 99 for e in decoded)
+        assert all(e.pid == 0 for e in events)
+
+    def test_worker_tracing_ships_and_trims(self):
+        from repro.obs import shipping
+
+        window = obs.window()
+        with shipping.worker_tracing(True) as capture:
+            with obs.span("worker.chunk"):
+                pass
+        batch = capture.batch()
+        assert batch is not None and len(batch) == 1
+        assert batch[0][0] == "worker.chunk"
+        # Shipped events are trimmed from the local collector.
+        assert window.events() == []
+
+    def test_worker_tracing_disabled_captures_nothing(self):
+        from repro.obs import shipping
+
+        window = obs.window()
+        with obs.tracing(True):  # even under a traced parent state
+            with shipping.worker_tracing(False) as capture:
+                with obs.span("worker.chunk"):
+                    pass
+        assert capture.batch() is None
+        assert window.events() == []
+
+    def test_worker_tracing_trims_on_exception(self):
+        from repro.obs import shipping
+
+        window = obs.window()
+        with pytest.raises(RuntimeError):
+            with shipping.worker_tracing(True):
+                with obs.span("doomed"):
+                    pass
+                raise RuntimeError("chunk failed")
+        assert window.events() == []
+
+
+class TestResourceSampler:
+    def test_sample_shape(self):
+        from repro.obs import resources
+
+        reading = resources.sample()
+        assert reading.t > 0
+        assert reading.user_s >= 0 and reading.sys_s >= 0
+        assert reading.rss_kb is None or reading.rss_kb > 0
+
+    def test_sampler_collects_at_least_two_points(self):
+        with obs.ResourceSampler(interval_s=0.005) as sampler:
+            pass
+        assert len(sampler.samples) >= 2
+        ts = [s.t for s in sampler.samples]
+        assert ts == sorted(ts)
+
+    def test_stop_is_idempotent(self):
+        sampler = obs.ResourceSampler(interval_s=0.005)
+        sampler.start()
+        sampler.stop()
+        count = len(sampler.samples)
+        sampler.stop()
+        assert len(sampler.samples) == count
+
+    def test_read_rss_survives_missing_procfs(self, monkeypatch):
+        from repro.obs import resources
+
+        monkeypatch.setattr(resources, "_PROC_STATUS", "/nonexistent/status")
+        assert resources.read_rss_kb() is None
+        reading = resources.sample()  # degrades to CPU-only, never raises
+        assert reading.rss_kb is None
+
+
+class TestPhaseDiffs:
+    @staticmethod
+    def _phase(name, total_s, calls=1):
+        return {"phase": name, "calls": calls, "total_s": total_s, "self_s": total_s}
+
+    def test_verdict_classification(self):
+        base = [
+            self._phase("steady", 1.0),
+            self._phase("slower", 1.0),
+            self._phase("faster", 1.0),
+            self._phase("gone", 1.0),
+        ]
+        cand = [
+            self._phase("steady", 1.1),
+            self._phase("slower", 2.0),
+            self._phase("faster", 0.3),
+            self._phase("new", 1.0),
+        ]
+        verdicts = {d.phase: d.verdict for d in obs.diff_phases(base, cand)}
+        assert verdicts == {
+            "steady": "ok",
+            "slower": "regressed",
+            "faster": "improved",
+            "gone": "removed",
+            "new": "added",
+        }
+
+    def test_abs_floor_mutes_microscopic_phases(self):
+        base = [self._phase("tiny", 0.0002)]
+        cand = [self._phase("tiny", 0.0009)]  # 4.5x but under the floor
+        (delta,) = obs.diff_phases(base, cand)
+        assert delta.verdict == "ok"
+
+    def test_per_call_normalization_when_calls_differ(self):
+        base = [self._phase("scan", 1.0, calls=10)]
+        cand = [self._phase("scan", 2.2, calls=20)]  # same mean per call
+        (delta,) = obs.diff_phases(base, cand)
+        assert delta.per_call
+        assert delta.verdict == "ok"
+        assert delta.ratio == pytest.approx(1.1)
+
+    def test_payload_and_table(self):
+        deltas = obs.diff_phases(
+            [self._phase("a", 1.0)], [self._phase("a", 5.0)]
+        )
+        payload = obs.diff_payload(deltas)
+        assert payload["regressed"] == ["a"]
+        assert payload["phases"][0]["verdict"] == "regressed"
+        assert "regressed" in obs.diff_table(deltas).format()
+
+    def test_diff_baselines(self):
+        from repro.experiments.reporting import PerfBaseline
+
+        base = PerfBaseline(name="t", dataset="toy", num_vertices=1, num_edges=0)
+        cand = PerfBaseline(name="t", dataset="toy", num_vertices=1, num_edges=0)
+        base.phases.append(self._phase("p", 1.0))
+        cand.phases.append(self._phase("p", 3.0))
+        (delta,) = obs.diff_baselines(base, cand)
+        assert delta.verdict == "regressed"
+
+
+class TestCli:
+    def test_validate_missing_file_exits_nonzero(self, capsys):
+        from repro.obs.__main__ import main
+
+        assert main(["validate", "/nonexistent/trace.json"]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_report_unknown_dataset_exits_2(self, capsys):
+        from repro.obs.__main__ import main
+
+        assert main(["report", "--dataset", "not-a-dataset"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown dataset" in err and "Traceback" not in err
+
+    def test_report_missing_edges_exits_2(self, capsys):
+        from repro.obs.__main__ import main
+
+        assert main(["report", "--edges", "/nonexistent/edges.txt"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_diff_missing_file_exits_2(self, capsys):
+        from repro.obs.__main__ import main
+
+        assert main(["diff", "/nonexistent/a.json", "/nonexistent/b.json"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_diff_reports_and_gates(self, tmp_path, capsys):
+        from repro.experiments.reporting import PerfBaseline
+        from repro.obs.__main__ import main
+
+        base = PerfBaseline(name="t", dataset="toy", num_vertices=1, num_edges=0)
+        base.phases.append(
+            {"phase": "p", "calls": 1, "total_s": 1.0, "self_s": 1.0}
+        )
+        cand = PerfBaseline(name="t", dataset="toy", num_vertices=1, num_edges=0)
+        cand.phases.append(
+            {"phase": "p", "calls": 1, "total_s": 9.0, "self_s": 9.0}
+        )
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_text(base.to_json() + "\n", encoding="utf-8")
+        b.write_text(cand.to_json() + "\n", encoding="utf-8")
+        # Report-only by default…
+        assert main(["diff", str(a), str(b)]) == 0
+        assert "regressed" in capsys.readouterr().err
+        # …JSON output is machine-readable…
+        assert main(["diff", str(a), str(b), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["regressed"] == ["p"]
+        # …and the gate flag turns regressions into exit 1.
+        assert main(["diff", str(a), str(b), "--fail-on-regression"]) == 1
 
 
 class TestTracingChangesNothing:

@@ -370,8 +370,95 @@ class TestChunkedDispatch:
             assert pool._results.closed
             error = obs.gauges_snapshot().get("parallel.close_error")
             assert error == 1.0  # lint: float-eq-ok gauge stores the exact literal 1.0
+            # The registry must stay fully readable after the crash path —
+            # reports and benches read it right after pool teardown.
+            assert obs.counters_snapshot() is not None
+            assert "parallel.close_error" in obs.counters_table(
+                obs.gauges_snapshot()
+            ).format()
+            pool.close()  # idempotent: second close is a no-op, no raise
         finally:
             real_shutdown(wait=False, cancel_futures=True)
+
+
+# ----------------------------------------------------------------------
+# cross-process observability: span shipping and pool health
+# ----------------------------------------------------------------------
+@needs_shm
+class TestSpanShipping:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_traced_scan_ships_worker_lanes(self, tiny_pools, workers):
+        """A traced parallel run merges worker spans (foreign pids) into
+        the parent collector and still matches the serial result."""
+        graph = small_random_graph(1, n=60, m=160)
+        serial = gac(graph, 3, tie_break="id")
+        window = obs.window()
+        with obs.tracing(True):
+            run = gac(graph, 3, tie_break="id", workers=workers)
+        assert _result_tuple(run) == _result_tuple(serial)
+        events = window.events()
+        worker_pids = {e.pid for e in events if e.pid != 0}
+        assert worker_pids, "no worker spans were shipped"
+        assert os.getpid() not in worker_pids
+        worker_spans = [e for e in events if e.pid != 0]
+        assert {e.name for e in worker_spans} >= {"worker.chunk"}
+        shipped = window.counter(obs.PARALLEL_SPANS_SHIPPED)
+        assert shipped == len(worker_spans)
+        assert window.counter(obs.PARALLEL_SPAN_BATCHES) >= 1
+        # The scan span advertises how many spans its dispatches shipped.
+        scan_spans = [e for e in events if e.name == "gac.parallel_scan"]
+        assert sum(e.args.get("shipped_spans", 0) for e in scan_spans) == shipped
+
+    def test_untraced_scan_ships_nothing(self, tiny_pools):
+        graph = small_random_graph(1, n=60, m=160)
+        window = obs.window()
+        gac(graph, 2, tie_break="id", workers=2)
+        assert window.events() == []
+        assert window.counter(obs.PARALLEL_SPANS_SHIPPED) == 0
+
+    def test_tracing_does_not_change_results(self, tiny_pools):
+        graph = small_random_graph(3, n=60, m=160)
+        untraced = gac(graph, 3, tie_break="id", workers=2)
+        with obs.tracing(True):
+            traced = gac(graph, 3, tie_break="id", workers=2)
+        assert _result_tuple(traced) == _result_tuple(untraced)
+
+
+@needs_shm
+class TestPoolHealth:
+    def test_evaluate_populates_health_registry(self, tiny_pools):
+        graph = small_random_graph(1, n=60, m=160)
+        window = obs.window()
+        gac(graph, 2, tie_break="id", workers=2)
+        gauges = obs.gauges_snapshot()
+        for name in (
+            "parallel.dispatch_latency_s",
+            "parallel.task_latency_ewma_s",
+            "parallel.chunk_size",
+            "parallel.dispatch_window",
+            "parallel.queue_wait_s",
+            "parallel.execute_s",
+            "parallel.utilization",
+        ):
+            assert name in gauges, name
+        assert 0.0 <= gauges["parallel.utilization"] <= 1.0
+        worker_lanes = [
+            name for name in gauges if name.startswith("parallel.worker.")
+        ]
+        assert worker_lanes, "per-worker busy gauges missing"
+        assert window.counter(obs.PARALLEL_STATE_REBUILDS) >= 1
+        assert window.counter(obs.PARALLEL_STATE_HITS) >= 0
+
+    def test_shm_sizes_gauged(self, tiny_pools):
+        graph = small_random_graph(1, n=60, m=160)
+        pool = CandidateScanPool(graph, 2)
+        try:
+            gauges = obs.gauges_snapshot()
+            assert gauges.get("shm.csr_bytes", 0) > 0
+            pool.evaluate(0, (), [(u, None) for u in sorted(graph.vertices())[:4]])
+            assert obs.gauges_snapshot().get("shm.result_bytes", 0) > 0
+        finally:
+            pool.close()
 
 
 # ----------------------------------------------------------------------
@@ -405,11 +492,23 @@ class TestWorkerLineageCache:
                     0,
                     None,  # pickle channel: everything comes back inline
                     tuple((u, None) for u in candidates),
+                    (epoch, False),  # chunk id, untraced
                 )
-                overflow = worker_mod.evaluate_chunk(payload)
+                overflow, telemetry = worker_mod.evaluate_chunk(payload)
                 assert [offset for offset, _ in overflow] == list(
                     range(len(candidates))
                 )
+                pid, chunk_id, exec_start, exec_end, cache_stats, batch = telemetry
+                assert pid == os.getpid()
+                assert chunk_id == epoch
+                assert exec_end >= exec_start
+                assert batch is None  # untraced dispatch ships no spans
+                hits, advances, rebuilds = cache_stats
+                if epoch == 0:
+                    assert rebuilds >= 1  # cold start builds the state
+                else:
+                    assert advances >= 1  # lineage grew by one anchor
+                assert hits == len(candidates) - 1  # rest of chunk reuses it
                 cached_ids.append(id(worker_mod._state.state))
                 oracle = AnchoredState.build(graph, frozenset(lineage))
                 for offset, (candidate, total, counts, _deltas) in overflow:
