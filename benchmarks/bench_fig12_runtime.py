@@ -5,18 +5,29 @@ by a wide margin — feasible only on the smallest dataset, like in the
 paper — and the engineered variants order GAC <= GAC-U <= GAC-U-R.
 
 A second test times the parallel candidate scan against the serial one
-and writes ``BENCH_gac.json`` at the repository root (schema-3
+and writes ``BENCH_gac.json`` at the repository root (schema-4
 :class:`~repro.experiments.reporting.PerfBaseline` with honest
 ``serial_s`` / ``parallel_s`` column labels and the runner's
 ``host_cores``): per worker count, the summed ``gac.candidate_scan``
 span seconds and the whole-run wall-clock, serial vs parallel, each
 best-of-:data:`GAC_BEST_OF` repeats off-smoke so speedup claims aren't
-single-run noise. Result identity is asserted on every repeat — the
-parallel scan is a wall-clock knob, never a results knob — while the
-speedup gate only applies off-smoke on machines with enough cores to
-actually run the workers concurrently
+single-run noise. On a host with fewer cores than a leg's workers the
+processes time-slice, so that leg's ``parallel_s`` is *refused*: the
+entry records ``null`` with ``"starved": true`` (the run still happens
+— identity is asserted — but a starved wall-clock must never enter the
+committed trajectory). Result identity is asserted on every repeat —
+the parallel scan is a wall-clock knob, never a results knob — while
+the speedup gate only applies off-smoke on machines with enough cores
+to actually run the workers concurrently
 (``scripts/check_gac_regression.py`` applies the same gate against the
 committed trajectory in CI).
+
+The serial leg runs the default ``flat`` follower kernel and an extra
+dict-oracle reference leg (identity asserted against the flat result,
+so the bench itself re-proves the backends byte-identical); the
+oracle's ``followers.search[dict]`` phase lands in the ``serial/``
+namespace next to ``followers.search[flat]``, giving the CI kernel
+gate its in-run A/B reference (``docs/kernels.md``).
 
 Alongside the timings the baseline now carries per-phase profiles
 (``serial/…`` and ``w<N>/…`` namespaces, diffable with ``python -m
@@ -92,7 +103,7 @@ def _result_tuple(result):
     )
 
 
-def _gac_scan_run(workers):
+def _gac_scan_run(workers, kernel="flat"):
     """One traced GAC run; returns (result, wall, scan_s, events, samples).
 
     Scan seconds sum the ``gac.candidate_scan`` span, which wraps both
@@ -100,14 +111,16 @@ def _gac_scan_run(workers):
     pay the same tracing overhead and the ratio stays honest (parallel
     runs additionally ship worker spans back — a per-chunk batch, paid
     identically on every repeat). Events include the worker-lane spans;
-    samples are the run's resource-gauge timeline.
+    samples are the run's resource-gauge timeline. The kernel is pinned
+    explicitly so a ``REPRO_KERNEL`` ambient in the environment cannot
+    silently relabel the recorded phases.
     """
     graph = registry.load(GAC_DATASET)
     window = obs.window()
     with obs.ResourceSampler() as sampler:
         t0 = time.perf_counter()
         with obs.tracing(True):
-            result = gac(graph, GAC_BUDGET, workers=workers)
+            result = gac(graph, GAC_BUDGET, workers=workers, kernel=kernel)
         wall = time.perf_counter() - t0
     events = window.events()
     stats = {s.name: s for s in obs.phase_profile(events)}
@@ -115,7 +128,7 @@ def _gac_scan_run(workers):
     return result, wall, scan, events, sampler.samples
 
 
-def _best_gac_runs(workers, reference=None):
+def _best_gac_runs(workers, reference=None, kernel="flat"):
     """Best-of-``GAC_BEST_OF`` run for one worker count.
 
     Returns ``(result_tuple, min_wall, min_scan, events, samples)`` where
@@ -128,10 +141,12 @@ def _best_gac_runs(workers, reference=None):
     result_tuple = None
     best = None
     for _ in range(GAC_BEST_OF):
-        result, wall, scan, events, samples = _gac_scan_run(workers=workers)
+        result, wall, scan, events, samples = _gac_scan_run(
+            workers=workers, kernel=kernel
+        )
         result_tuple = _result_tuple(result)
         if reference is not None:
-            assert result_tuple == reference, workers
+            assert result_tuple == reference, (workers, kernel)
         if best is None or wall < best[0]:
             best = (wall, events, samples)
         walls.append(wall)
@@ -155,6 +170,23 @@ def _run_gac_baseline():
         workers=0
     )
     obs.record_phases(baseline, obs.phase_profile(serial_events), prefix="serial/")
+    # Dict-oracle reference leg: same workload on the dict kernel, byte
+    # identity asserted against the flat result. Only its
+    # followers.search[dict] phase is recorded — the in-run A/B the CI
+    # kernel gate compares against followers.search[flat] above.
+    _, _, _, dict_events, _ = _best_gac_runs(
+        workers=0, reference=serial_tuple, kernel="dict"
+    )
+    obs.record_phases(
+        baseline,
+        [
+            s
+            for s in obs.phase_profile(dict_events)
+            if s.name == "followers.search[dict]"
+        ],
+        prefix="serial/",
+    )
+    host_cores = baseline.host_cores or 0
     trace_events, trace_samples = serial_events, []
     for workers in GAC_WORKER_COUNTS:
         # The determinism contract holds unconditionally — before any
@@ -163,8 +195,17 @@ def _run_gac_baseline():
         _, parallel_wall, parallel_scan, events, samples = _best_gac_runs(
             workers=workers, reference=serial_tuple
         )
-        baseline.record(f"candidate_scan_w{workers}", serial_scan, parallel_scan)
-        baseline.record(f"gac_total_w{workers}", serial_wall, parallel_wall)
+        if host_cores < workers:
+            # Starved leg: the processes time-sliced, so the wall-clock
+            # measures scheduling, not the scan. Refuse the trajectory
+            # point — null columns with an explicit flag.
+            baseline.record_starved(f"candidate_scan_w{workers}", serial_scan)
+            baseline.record_starved(f"gac_total_w{workers}", serial_wall)
+        else:
+            baseline.record(
+                f"candidate_scan_w{workers}", serial_scan, parallel_scan
+            )
+            baseline.record(f"gac_total_w{workers}", serial_wall, parallel_wall)
         obs.record_phases(
             baseline, obs.phase_profile(events), prefix=f"w{workers}/"
         )
@@ -182,14 +223,16 @@ def _run_gac_baseline():
         "serial before recording"
     )
     baseline.notes.append(
-        "host_cores below the worker count means processes time-slice and "
-        "speedup < 1 is expected (dispatch overhead, no concurrency); the "
-        "CI gate only applies at host_cores >= 4"
+        "legs with host_cores < workers time-slice, so parallel_s is "
+        "refused: null columns with starved: true (identity still "
+        "asserted); the CI gate only applies at host_cores >= 4"
     )
     baseline.notes.append(
         "phases are namespaced serial/ and w<N>/ per configuration "
-        "(best-wall repeat); merged multi-worker Chrome trace written to "
-        f"{GAC_TRACE_PATH.name}"
+        "(best-wall repeat); serial/ carries followers.search[flat] plus "
+        "the dict-oracle reference followers.search[dict] (same workload, "
+        "identity asserted) for the kernel gate; merged multi-worker "
+        f"Chrome trace written to {GAC_TRACE_PATH.name}"
     )
     baseline.write(GAC_OUT_PATH)
     return baseline
@@ -198,13 +241,26 @@ def _run_gac_baseline():
 def test_gac_parallel_scan_baseline(benchmark):
     baseline = run_once(benchmark, _run_gac_baseline)
     assert GAC_OUT_PATH.exists()
-    recorded = {e["primitive"] for e in baseline.primitives}
+    entries = {str(e["primitive"]): e for e in baseline.primitives}
+    cores = baseline.host_cores or 0
     for workers in GAC_WORKER_COUNTS:
-        assert f"candidate_scan_w{workers}" in recorded
+        entry = entries[f"candidate_scan_w{workers}"]
+        if cores < workers:
+            # Starved legs must refuse the trajectory, not poison it.
+            assert entry["parallel_s"] is None and entry["starved"] is True
+            assert entry["speedup"] is None
+        else:
+            assert isinstance(entry["parallel_s"], float)
+            assert "starved" not in entry
 
     # Phase profiles landed under every configuration namespace…
     prefixes = {str(e["phase"]).split("/", 1)[0] for e in baseline.phases}
     assert prefixes >= {"serial"} | {f"w{w}" for w in GAC_WORKER_COUNTS}
+    # …the serial namespace carries both kernel-labeled follower phases
+    # (the CI kernel gate's A/B pair)…
+    phase_names = {str(e["phase"]) for e in baseline.phases}
+    assert "serial/followers.search[flat]" in phase_names
+    assert "serial/followers.search[dict]" in phase_names
     # …and the merged trace artifact is a valid multi-process trace with
     # a resource timeline. Worker lanes only exist when the pool engaged
     # (shm available and no fallback), signalled by shipped spans.

@@ -8,28 +8,29 @@ explores only the candidate followers reachable via upstair paths
 candidates whose degree bound falls below ``c(u) + 1`` (Theorem 4.15)
 with a cascading shrink (Algorithm 5).
 
+The per-node exploration itself lives in :mod:`repro.anchors.kernels`
+behind interchangeable backends (``dict`` / ``flat`` / ``numpy``); this
+module owns everything around it — node iteration order, reuse, the
+Figure-13 counters, verification — which is why the backends are
+byte-identical by construction on those observables.
+
 ``followers_naive`` is the brute-force oracle (two full decompositions);
 the test suite asserts both agree on randomized graphs.
 """
 
 from __future__ import annotations
 
-import heapq
 from collections.abc import Collection, Mapping
 from dataclasses import dataclass, field
 
 from repro import obs as _obs
+from repro.anchors import kernels as _kernels
 from repro.anchors.state import AnchoredState
 from repro.core.decomposition import CoreDecomposition, _sort_key, core_decomposition
 from repro.core.tree import NodeId
 from repro.graphs.graph import Graph, Vertex
 from repro.lint.markers import pure
 from repro.verify import enabled as _verify_enabled
-
-# Exploration status tags. UNEXPLORED is represented by absence.
-_IN_HEAP = 1
-_SURVIVED = 2
-_DISCARDED = 3
 
 
 @dataclass
@@ -113,6 +114,7 @@ def find_followers(
     reusable_counts: Mapping[NodeId, int] | None = None,
     counters: FollowerCounters | None = None,
     only_coreness: int | None = None,
+    kernel: str | None = None,
 ) -> FollowerReport:
     """Compute ``F[x][id]`` for every node ``id`` in ``sn(x)`` (Algorithm 4).
 
@@ -127,6 +129,10 @@ def find_followers(
             exactly this coreness (per-node explorations are independent,
             so skipping nodes is sound). OLAK uses this to search only
             the (k-1)-shell.
+        kernel: follower-search backend (``dict`` / ``flat`` / ``numpy``);
+            ``None`` reads ``REPRO_KERNEL`` and falls back to the
+            default. Backends differ in wall-clock only — follower sets
+            and counters are byte-identical (``docs/kernels.md``).
 
     Returns:
         A :class:`FollowerReport` whose total is the coreness gain of
@@ -137,24 +143,68 @@ def find_followers(
         raise ValueError(f"candidate {x!r} is already anchored")
     report = FollowerReport(anchor=x)
     own_node = state.node_id(x)
-    with _obs.span("followers.search", anchor=x):
-        for nid in sorted(state.sn(x), key=_sort_key):
+    # Cached kernel tables prove the graph has a CSR view: skip the
+    # per-call view lookup on the hot path (GAC calls this once per
+    # evaluated candidate).
+    name = _kernels.resolve_kernel(
+        kernel, graph=None if state.kernel_tables is not None else state.graph
+    )
+    with _obs.span(f"followers.search[{name}]", anchor=x):
+        tables = state.kernel_tables
+        fresh_tables = (
+            tables is not None
+            and name != "dict"
+            and tables.decomposition is state.decomposition
+            and tables.anchors is state.anchors
+        )
+        if fresh_tables:
+            # Current tables (same identity guard as ``tables_for``)
+            # carry ``sn(x)`` presorted per id: ascending interned id is
+            # the canonical vertex_sort_key order, so this is the keyed
+            # sort below, precomputed.
+            order: "Collection[NodeId]" = tables.sn_ids[tables.index[x]]
+        else:
+            order = sorted(state.sn(x), key=_sort_key)
+        reused = visited = 0
+        todo: list[tuple[NodeId, bool]] = []
+        for nid in order:
             if only_coreness is not None and state.tree.nodes[nid].k != only_coreness:
                 continue
             if reusable_counts is not None and nid in reusable_counts:
                 report.counts[nid] = reusable_counts[nid]
-                _obs.add(_obs.REUSED_NODES)
-                if counters is not None:
-                    counters.reused_nodes += 1
+                reused += 1
                 continue
-            survivors = _explore_node(state, x, nid, nid == own_node, counters)
-            report.counts[nid] = len(survivors)
-            report.members[nid] = survivors
-            _obs.add(_obs.EXPLORED_NODES)
-            if counters is not None:
-                counters.explored_nodes += 1
+            todo.append((nid, nid == own_node))
+        # A fully-reused candidate (every node answered from the cache)
+        # never touches the backend at all; otherwise the backend gets
+        # the surviving node list in one batched call so it can hoist
+        # its per-candidate table bindings out of the per-node loop.
+        if todo:
+            if fresh_tables and name == "flat":
+                # Verified-current tables short-circuit the factory
+                # dispatch straight to the flyweight explorer.
+                explorer: _kernels.FollowerExplorer = tables.explorer_for(x)
+            else:
+                explorer = _kernels.make_explorer(name, state, x)
+            counts = report.counts
+            members = report.members
+            for nid, survivors, pops in explorer.explore_nodes(todo):
+                counts[nid] = len(survivors)
+                members[nid] = survivors
+                visited += pops
+        explored = len(todo)
+        # Registry reads are deltas over sums, so batching the adds per
+        # call is observationally identical to per-node increments.
+        if reused:
+            _obs.add(_obs.REUSED_NODES, reused)
+        if explored:
+            _obs.add(_obs.EXPLORED_NODES, explored)
+            _obs.add(_obs.VISITED_VERTICES, visited)
     _obs.add(_obs.EVALUATED_CANDIDATES)
     if counters is not None:
+        counters.explored_nodes += explored
+        counters.reused_nodes += reused
+        counters.visited_vertices += visited
         counters.evaluated_candidates += 1
     # With nothing reused and no shell restriction the report is complete:
     # cross-validate it against a full re-decomposition when verifying.
@@ -163,107 +213,6 @@ def find_followers(
 
         verify_follower_report(state, x, report.total, report.all_members())
     return report
-
-
-@pure
-def _explore_node(
-    state: AnchoredState,
-    x: Vertex,
-    nid: NodeId,
-    is_own_node: bool,
-    counters: FollowerCounters | None,
-) -> set[Vertex]:
-    """Survivors of the candidate exploration within one tree node."""
-    graph = state.graph
-    anchors = state.anchors
-    pairs = state.decomposition.shell_layer
-    coreness = state.decomposition.coreness
-    same_shell = state.same_shell
-    fixed_support = state.fixed_support
-    px = pairs[x]
-    adj_x = graph.neighbors(x)
-
-    if is_own_node:
-        seeds = [
-            v
-            for v in state.tca(x).get(nid, ())
-            if v not in anchors and pairs[v][0] == px[0] and pairs[v][1] > px[1]
-        ]
-    else:
-        seeds = [v for v in state.tca(x).get(nid, ()) if v not in anchors]
-
-    status: dict[Vertex, int] = {}
-    dplus: dict[Vertex, int] = {}
-    heap: list[tuple[tuple[int, int], object, Vertex]] = []
-    for v in seeds:
-        status[v] = _IN_HEAP
-        heapq.heappush(heap, (pairs[v], _sort_key(v), v))
-
-    pops = 0
-    while heap:
-        _, _, u = heapq.heappop(heap)
-        if status.get(u) != _IN_HEAP:
-            continue
-        pops += 1
-        # d+(u) of Theorem 4.15: anchored + deeper-shell neighbors are
-        # precomputed (they always count); x counts if adjacent and not
-        # already part of the fixed support; same-shell neighbors count
-        # per their exploration status — higher layers unless discarded,
-        # lower/equal layers only while surviving or queued.
-        cu = coreness[u]
-        iu = pairs[u][1]
-        bound = fixed_support[u]
-        if u in adj_x and coreness[x] <= cu:
-            bound += 1
-        for v in same_shell[u]:
-            if v == x:
-                continue  # already counted via the adjacency check
-            sv = status.get(v)
-            if pairs[v][1] > iu:
-                if sv != _DISCARDED:
-                    bound += 1
-            elif sv == _IN_HEAP or sv == _SURVIVED:
-                bound += 1
-        if bound >= cu + 1:
-            status[u] = _SURVIVED
-            dplus[u] = bound
-            for w in same_shell[u]:
-                if w == x or w in status:
-                    continue
-                if pairs[w][1] > iu:
-                    status[w] = _IN_HEAP
-                    heapq.heappush(heap, (pairs[w], _sort_key(w), w))
-        else:
-            status[u] = _DISCARDED
-            _shrink(same_shell, coreness, status, dplus, u)
-
-    _obs.add(_obs.VISITED_VERTICES, pops)
-    if counters is not None:
-        counters.visited_vertices += pops
-    return {u for u, s in status.items() if s == _SURVIVED}
-
-
-def _shrink(
-    same_shell: dict[Vertex, list[Vertex]],
-    coreness: dict[Vertex, int],
-    status: dict[Vertex, int],
-    dplus: dict[Vertex, int],
-    discarded: Vertex,
-) -> None:
-    """Algorithm 5: cascade the discard of a candidate to its supporters.
-
-    Only same-shell neighbors can be surviving candidates (exploration
-    never leaves the tree node), so the cascade walks those lists only.
-    """
-    stack = [discarded]
-    while stack:
-        w = stack.pop()
-        for v in same_shell[w]:
-            if status.get(v) == _SURVIVED:
-                dplus[v] -= 1
-                if dplus[v] < coreness[v] + 1:
-                    status[v] = _DISCARDED
-                    stack.append(v)
 
 
 @pure

@@ -1,0 +1,153 @@
+"""The dict-of-sets follower exploration — the oracle backend.
+
+This is the original :func:`repro.anchors.followers.find_followers`
+inner loop, moved verbatim behind the kernel interface: per-vertex
+``dict`` status/bound tables keyed by vertex label, heap entries ordered
+by ``(shell-layer pair, canonical sort key, vertex)``. It needs nothing
+but the :class:`~repro.anchors.state.AnchoredState` dicts, so it is the
+backend of last resort (graphs with no CSR view) and the oracle every
+flat-array backend must match byte for byte.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.anchors.state import AnchoredState
+from repro.core.decomposition import _sort_key
+from repro.core.tree import NodeId
+from repro.graphs.graph import Vertex
+
+# Exploration status tags. UNEXPLORED is represented by absence.
+_IN_HEAP = 1
+_SURVIVED = 2
+_DISCARDED = 3
+
+
+class DictExplorer:
+    """Per-candidate exploration context for the dict backend.
+
+    Holds the state lookups Algorithm 4 reads on every pop — bound once
+    per candidate so the per-node ``explore`` calls share them.
+    """
+
+    __slots__ = (
+        "state",
+        "x",
+        "anchors",
+        "pairs",
+        "coreness",
+        "same_shell",
+        "fixed_support",
+        "px",
+        "adj_x",
+    )
+
+    def __init__(self, state: AnchoredState, x: Vertex) -> None:
+        self.state = state
+        self.x = x
+        self.anchors = state.anchors
+        self.pairs = state.decomposition.shell_layer
+        self.coreness = state.decomposition.coreness
+        self.same_shell = state.same_shell
+        self.fixed_support = state.fixed_support
+        self.px = self.pairs[x]
+        self.adj_x = state.graph.neighbors(x)
+
+    def explore_nodes(
+        self, todo: "list[tuple[NodeId, bool]]"
+    ) -> "list[tuple[NodeId, set[Vertex], int]]":
+        """Explore each ``(node id, is_own_node)`` pair in order (verbatim loop)."""
+        return [
+            (nid, *self._explore(nid, is_own_node)) for nid, is_own_node in todo
+        ]
+
+    def _explore(self, nid: NodeId, is_own_node: bool) -> tuple[set[Vertex], int]:
+        """Survivors and heap pops of the exploration within one tree node."""
+        x = self.x
+        anchors = self.anchors
+        pairs = self.pairs
+        coreness = self.coreness
+        same_shell = self.same_shell
+        fixed_support = self.fixed_support
+        px = self.px
+        adj_x = self.adj_x
+
+        if is_own_node:
+            seeds = [
+                v
+                for v in self.state.tca(x).get(nid, ())
+                if v not in anchors and pairs[v][0] == px[0] and pairs[v][1] > px[1]
+            ]
+        else:
+            seeds = [v for v in self.state.tca(x).get(nid, ()) if v not in anchors]
+
+        status: dict[Vertex, int] = {}
+        dplus: dict[Vertex, int] = {}
+        heap: list[tuple[tuple[int, int], object, Vertex]] = []
+        for v in seeds:
+            status[v] = _IN_HEAP
+            heapq.heappush(heap, (pairs[v], _sort_key(v), v))
+
+        pops = 0
+        while heap:
+            _, _, u = heapq.heappop(heap)
+            if status.get(u) != _IN_HEAP:
+                continue
+            pops += 1
+            # d+(u) of Theorem 4.15: anchored + deeper-shell neighbors are
+            # precomputed (they always count); x counts if adjacent and not
+            # already part of the fixed support; same-shell neighbors count
+            # per their exploration status — higher layers unless discarded,
+            # lower/equal layers only while surviving or queued.
+            cu = coreness[u]
+            iu = pairs[u][1]
+            bound = fixed_support[u]
+            if u in adj_x and coreness[x] <= cu:
+                bound += 1
+            for v in same_shell[u]:
+                if v == x:
+                    continue  # already counted via the adjacency check
+                sv = status.get(v)
+                if pairs[v][1] > iu:
+                    if sv != _DISCARDED:
+                        bound += 1
+                elif sv == _IN_HEAP or sv == _SURVIVED:
+                    bound += 1
+            if bound >= cu + 1:
+                status[u] = _SURVIVED
+                dplus[u] = bound
+                for w in same_shell[u]:
+                    if w == x or w in status:
+                        continue
+                    if pairs[w][1] > iu:
+                        status[w] = _IN_HEAP
+                        heapq.heappush(heap, (pairs[w], _sort_key(w), w))
+            else:
+                status[u] = _DISCARDED
+                _shrink(same_shell, coreness, status, dplus, u)
+
+        return {u for u, s in status.items() if s == _SURVIVED}, pops
+
+
+def _shrink(
+    same_shell: dict[Vertex, list[Vertex]],
+    coreness: dict[Vertex, int],
+    status: dict[Vertex, int],
+    dplus: dict[Vertex, int],
+    discarded: Vertex,
+) -> None:
+    """Algorithm 5: cascade the discard of a candidate to its supporters.
+
+    Only same-shell neighbors can be surviving candidates (exploration
+    never leaves the tree node), so the cascade walks those lists only.
+    """
+    stack = [discarded]
+    while stack:
+        w = stack.pop()
+        for v in same_shell[w]:
+            if status.get(v) == _SURVIVED:
+                dplus[v] -= 1
+                if dplus[v] < coreness[v] + 1:
+                    status[v] = _DISCARDED
+                    stack.append(v)

@@ -16,10 +16,14 @@ implemented faithfully in :mod:`repro.anchors.reuse`.
 from __future__ import annotations
 
 from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 from repro.core.decomposition import CoreDecomposition, peel_decomposition
 from repro.core.tree import CoreComponentTree, NodeId, TreeAdjacency
 from repro.graphs.graph import Graph, Vertex
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle avoidance)
+    from repro.anchors.kernels.flat_backend import FlatTables
 
 
 class AnchoredState:
@@ -42,6 +46,7 @@ class AnchoredState:
         "adjacency",
         "fixed_support",
         "same_shell",
+        "kernel_tables",
     )
 
     def __init__(
@@ -69,6 +74,10 @@ class AnchoredState:
             rebuilt = TreeAdjacency(graph, decomposition, tree, anchors=anchors)
             self.fixed_support = rebuilt.fixed_support
             self.same_shell = rebuilt.same_shell
+        # Flat per-id mirrors for the follower kernels, built lazily on
+        # first flat/numpy exploration and kept current by
+        # ``apply_anchor`` (see repro.anchors.kernels.flat_backend).
+        self.kernel_tables: FlatTables | None = None
 
     @classmethod
     def build(cls, graph: Graph, anchors: Iterable[Vertex] = ()) -> "AnchoredState":

@@ -135,7 +135,11 @@ class PerfBaseline:
     actually timed. ``schema`` is bumped whenever the JSON layout
     changes so downstream consumers can detect drift (2: added the
     ``phases`` per-phase breakdown from ``repro.obs``; 3: explicit
-    ``labels`` column names and ``host_cores``).
+    ``labels`` column names and ``host_cores``; 4: starved primitives
+    record a ``null`` fast-path column with ``"starved": true`` instead
+    of a meaningless time-sliced measurement, and follower-search phase
+    names carry the kernel backend label —
+    ``serial/followers.search[flat]`` — per ``docs/kernels.md``).
     """
 
     name: str
@@ -144,7 +148,7 @@ class PerfBaseline:
     num_edges: int
     mode: str = "full"
     best_of: int = 1
-    schema: int = 3
+    schema: int = 4
     labels: tuple[str, str] = ("dict_s", "csr_s")
     host_cores: int | None = None
     csr_build_s: float | None = None
@@ -163,6 +167,27 @@ class PerfBaseline:
             base_label: round(base_s, 6),
             fast_label: round(fast_s, 6),
             "speedup": round(base_s / fast_s, 3) if fast_s > 0 else None,
+        }
+        self.primitives.append(entry)
+        return entry
+
+    def record_starved(self, primitive: str, base_s: float) -> dict[str, object]:
+        """Append a primitive whose fast path could not be measured.
+
+        A parallel leg on a host with fewer cores than workers
+        time-slices; recording its wall-clock would poison the
+        committed trajectory (the gate compares against it across
+        commits). The entry keeps the baseline column, records ``None``
+        for the fast path and speedup, and flags ``starved`` so
+        consumers can tell "not measured" from "not recorded".
+        """
+        base_label, fast_label = self.labels
+        entry: dict[str, object] = {
+            "primitive": primitive,
+            base_label: round(base_s, 6),
+            fast_label: None,
+            "speedup": None,
+            "starved": True,
         }
         self.primitives.append(entry)
         return entry
@@ -220,13 +245,13 @@ class PerfBaseline:
         """Rehydrate a baseline written by :meth:`write`.
 
         Accepts schema 2 (implicit ``dict_s``/``csr_s`` columns, no
-        ``host_cores``) and schema 3; anything else raises
-        ``ValueError`` so CI gates fail loudly on drift rather than
-        comparing mislabeled columns.
+        ``host_cores``), 3, and 4 (starved entries, backend-labeled
+        phases); anything else raises ``ValueError`` so CI gates fail
+        loudly on drift rather than comparing mislabeled columns.
         """
         payload = json.loads(Path(path).read_text(encoding="utf-8"))
         schema = payload.get("schema")
-        if schema not in (2, 3):
+        if schema not in (2, 3, 4):
             raise ValueError(f"unsupported PerfBaseline schema {schema!r} in {path}")
         labels = payload.get("labels", ["dict_s", "csr_s"])
         if not (isinstance(labels, list) and len(labels) == 2):

@@ -218,6 +218,31 @@ def csr_view(graph: Graph) -> CSRGraph | None:
 # ----------------------------------------------------------------------
 # Flat-array substrate kernels (operate purely on CSR ids)
 # ----------------------------------------------------------------------
+def decomposition_arrays(
+    csr: CSRGraph,
+    coreness: "dict[Vertex, int]",
+    shell_layer: "dict[Vertex, tuple[int, int]]",
+) -> tuple[list[int], list[int], list[int]]:
+    """Per-id ``(core, shell, layer)`` lists from a decomposition's dicts.
+
+    The bridge the follower kernels (:mod:`repro.anchors.kernels`) use
+    to run Algorithm 4/5 on dense ids: one label-keyed dict walk at
+    table-build time, list indexing ever after. Plain lists for the same
+    reason as :meth:`CSRGraph.as_lists` — CPython indexes them faster
+    than ``array('i')``, which re-boxes every element.
+    """
+    n = csr.num_vertices
+    core = [0] * n
+    shell = [0] * n
+    layer = [0] * n
+    for i, u in enumerate(csr.labels):
+        core[i] = coreness[u]
+        pair = shell_layer[u]
+        shell[i] = pair[0]
+        layer[i] = pair[1]
+    return core, shell, layer
+
+
 def bucket_coreness(csr: CSRGraph, anchor_ids: Iterable[int] = ()) -> list[int]:
     """Coreness per id via the Batagelj–Zaveršnik O(m) bucket algorithm.
 

@@ -1,0 +1,69 @@
+"""L5 — contain optional third-party imports to their sanctioned module.
+
+numpy is an *optional* dependency: the suite must pass with it absent,
+so every ``import numpy`` outside the one module that guards the import
+behind a try/except (:mod:`repro.anchors.kernels.numpy_backend`) is a
+latent ``ImportError`` on numpy-less machines. This pass rejects any
+numpy import edge — eager, lazy, or ``TYPE_CHECKING`` (annotations are
+evaluated by mypy on numpy-less checkouts too) — from any other module.
+
+Reach numpy through the backend's tables/arrays instead of importing
+it, or, for a genuinely new sanctioned home, add the module to
+:data:`CONTAINED_IMPORTS` alongside an availability guard. Waive a
+single sanctioned line with ``# lint: numpy-ok <reason>``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.passes.base import register_pass
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle avoidance)
+    from repro.lint.program import ModuleInfo, ProjectModel
+
+#: contained top-level package -> modules allowed to import it.  Every
+#: sanctioned module must guard the import (try/except ImportError) and
+#: expose an availability probe, so the rest of the tree degrades
+#: instead of crashing.
+CONTAINED_IMPORTS: dict[str, frozenset[str]] = {
+    "numpy": frozenset({"repro.anchors.kernels.numpy_backend"}),
+}
+
+
+@register_pass
+class ImportContainmentPass:
+    """Reject contained third-party imports outside their home (pass L5)."""
+
+    rule_id: ClassVar[str] = "L5"
+    slug: ClassVar[str] = "numpy-ok"
+    summary: ClassVar[str] = (
+        "optional dependency imported outside its sanctioned module"
+    )
+
+    def check(self, model: "ProjectModel") -> Iterator[Diagnostic]:
+        for mod in sorted(model.modules.values(), key=lambda m: m.name):
+            yield from self._check_module(mod)
+
+    def _check_module(self, mod: "ModuleInfo") -> Iterator[Diagnostic]:
+        for edge in mod.imports:
+            top = edge.target.split(".")[0]
+            allowed = CONTAINED_IMPORTS.get(top)
+            if allowed is None or mod.name in allowed:
+                continue
+            if mod.waived(self.slug, edge.lineno):
+                continue
+            homes = ", ".join(sorted(allowed))
+            yield Diagnostic(
+                path=str(mod.path), line=edge.lineno, col=edge.col,
+                rule=self.rule_id,
+                message=(
+                    f"contained import: {mod.name} imports {edge.target}, "
+                    f"but '{top}' is an optional dependency sanctioned only "
+                    f"in {homes}; go through that module's guarded surface "
+                    f"or waive a sanctioned use with '# lint: {self.slug}'"
+                ),
+                code=f"{mod.name} -> {edge.target}",
+            )

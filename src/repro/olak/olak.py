@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING
 
 from repro import checkpoint as _checkpoint  # lint: layer-ok sanctioned persistence hook
 from repro import obs as _obs
+from repro.anchors import kernels as _kernels
 from repro.anchors.followers import find_followers
 from repro.anchors.incremental import apply_anchor
 from repro.anchors.state import AnchoredState
@@ -73,6 +74,7 @@ def olak(
     *,
     verify: bool | None = None,
     obs: bool | None = None,
+    kernel: str | None = None,
     faults: "FaultPlan | str | None" = None,
     checkpoint: "str | os.PathLike[str] | None" = None,
     checkpoint_every: int = 1,
@@ -89,6 +91,10 @@ def olak(
             (``False``) for this run; ``None`` defers to ``REPRO_VERIFY``.
         obs: force span tracing on (``True``) or off (``False``) for
             this run; ``None`` defers to ``REPRO_TRACE``.
+        kernel: follower-search backend (``dict`` / ``flat`` /
+            ``numpy``, see :mod:`repro.anchors.kernels`); ``None``
+            defers to ``REPRO_KERNEL``. A wall-clock knob only —
+            results are byte-identical across backends.
         faults: a :class:`repro.faults.FaultPlan` (or spec string) armed
             for this run only; ``None`` defers to ``REPRO_FAULTS``.
         checkpoint: write a round-granular snapshot to this path after
@@ -121,6 +127,7 @@ def olak(
             graph,
             k,
             budget,
+            kernel=_kernels.resolve_kernel(kernel, graph=graph),
             checkpoint_path=checkpoint,
             checkpoint_every=checkpoint_every,
             resume_path=resume,
@@ -132,6 +139,7 @@ def _run_olak(
     k: int,
     budget: int,
     *,
+    kernel: str = _kernels.DEFAULT_KERNEL,
     checkpoint_path: "str | os.PathLike[str] | None" = None,
     checkpoint_every: int = 1,
     resume_path: "str | os.PathLike[str] | None" = None,
@@ -156,7 +164,7 @@ def _run_olak(
 
     while len(result.anchors) < budget:
         with _obs.span("olak.iteration", iteration=len(result.anchors)):
-            best, best_followers = _select_best(state, k)
+            best, best_followers = _select_best(state, k, kernel)
             if best is None:
                 break
             # The reported followers must be exactly the (k-1)-coreness
@@ -255,7 +263,7 @@ def _write_olak_checkpoint(
 
 
 def _select_best(
-    state: AnchoredState, k: int
+    state: AnchoredState, k: int, kernel: str = _kernels.DEFAULT_KERNEL
 ) -> tuple[Vertex | None, frozenset[Vertex]]:
     """The candidate whose anchoring adds the most vertices to the k-core.
 
@@ -287,7 +295,7 @@ def _select_best(
     best_followers: frozenset[Vertex] = frozenset()
     with _obs.span("olak.candidate_scan", candidates=len(candidates)):
         for u in sorted(candidates, key=_sort_key):
-            report = find_followers(state, u, only_coreness=k - 1)
+            report = find_followers(state, u, only_coreness=k - 1, kernel=kernel)
             followers = report.all_members()
             if best is None or len(followers) > len(best_followers):
                 best = u

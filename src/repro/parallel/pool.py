@@ -298,18 +298,23 @@ class CandidateScanPool:
         epoch: int,
         anchors: tuple[Vertex, ...],
         tasks: "list[tuple[Vertex, dict[NodeId, int] | None]]",
+        kernel: "str | None" = None,
     ) -> list[_worker.TaskResult]:
         """Evaluate one batch of candidates; results in dispatch order.
 
         ``anchors`` is the anchor *lineage* in application order (sorted
         initial anchors, then selections) — workers key their persistent
-        state cache on it. Any failure (worker crash, pickling error,
-        broken executor, row-decode mismatch) marks the pool broken and
+        state cache on it. ``kernel`` is the concrete follower-kernel
+        name the parent resolved; it rides in the chunk header so every
+        worker evaluation runs the backend the serial scan would (a
+        spawned worker does not inherit the parent's kwargs, only its
+        environment). Any failure (worker crash, pickling error, broken
+        executor, row-decode mismatch) marks the pool broken and
         re-raises; the caller falls back to the serial scan for the
         whole round.
         """
         n = len(tasks)
-        header: _worker.ChunkHeader = (epoch, anchors)
+        header: _worker.ChunkHeader = (epoch, anchors, kernel)
         trace = _obs.tracing_enabled()
         try:
             handle = self._ensure_results(n)

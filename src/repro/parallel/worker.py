@@ -75,8 +75,11 @@ from repro.parallel.shm import (
 from repro.verify import verification as _verification
 
 #: Chunk header, pickled once per chunk: (round epoch, anchors in
-#: application order — sorted initial anchors first, then selections).
-ChunkHeader = tuple[int, "tuple[Vertex, ...]"]
+#: application order — sorted initial anchors first, then selections —
+#: and the concrete follower-kernel name the parent resolved, so every
+#: worker evaluation runs the same backend as the serial scan would;
+#: ``None`` lets the worker resolve its own environment).
+ChunkHeader = tuple[int, "tuple[Vertex, ...]", "str | None"]
 #: One candidate evaluation: (candidate, validated reuse counts —
 #: ``None`` on the no-reuse / naive paths).
 Task = tuple[Vertex, "dict[NodeId, int] | None"]
@@ -298,7 +301,9 @@ def evaluate_chunk(payload: ChunkPayload) -> ChunkReturn:
     task; both fire *before* the counter window opens, so an armed
     ``delay`` never leaks extra counts into the shipped deltas.
     """
-    (epoch, lineage), slot_base, results_handle, tasks, (chunk_id, trace) = payload
+    (epoch, lineage, kernel), slot_base, results_handle, tasks, (chunk_id, trace) = (
+        payload
+    )
     overflow: ChunkOverflow = []
     started = _obs.clock()
     stats_base = tuple(_state.cache_stats) if _state is not None else (0, 0, 0)
@@ -321,7 +326,9 @@ def evaluate_chunk(payload: ChunkPayload) -> ChunkReturn:
                 else:
                     state = worker.state
                     assert state is not None  # _state_for always builds one
-                    report = find_followers(state, candidate, reusable_counts=reusable)
+                    report = find_followers(
+                        state, candidate, reusable_counts=reusable, kernel=kernel
+                    )
                     total = report.total
                     counts = dict(report.counts)
                 deltas = window.counters()

@@ -1,0 +1,17 @@
+"""Seeded L5 violations: numpy imported outside the sanctioned backend."""
+
+import numpy  # eager containment breach
+
+
+def lazy_breach() -> object:
+    """A function-local import is still a runtime numpy dependency."""
+    import numpy.linalg as linalg  # lazy containment breach
+
+    return linalg
+
+
+def waived_use() -> object:
+    """Negative control: a waived line stays quiet."""
+    import numpy as _np  # lint: numpy-ok corpus-sanctioned exception
+
+    return _np

@@ -1,0 +1,14 @@
+"""Negative control: the sanctioned home may import numpy unguarded here.
+
+(The real module guards with try/except ImportError; containment only
+checks *where* the import lives, not how it is guarded.)
+"""
+
+try:
+    import numpy as _np
+except ImportError:
+    _np = None  # type: ignore[assignment]
+
+
+def available() -> bool:
+    return _np is not None

@@ -1,0 +1,5 @@
+"""Negative control: ordinary stdlib imports are not contained."""
+
+import math
+
+BASELINE = math.inf

@@ -1,0 +1,191 @@
+"""Tests for scripts/check_gac_regression.py, the CI trajectory gate.
+
+Covers the follower-kernel gate added with the backend split
+(``docs/kernels.md``): the committed baseline's own dict/flat pair must
+hold the 1.8x acceptance floor, a fresh same-workload measurement may
+only move the trajectory up, and cross-workload comparisons (CI's
+brightkite re-bench vs the committed livejournal trajectory) stay
+report-only. The headline speedup gate keeps its existing semantics;
+here it is pinned to SKIP via 1-core baselines so the kernel verdict
+alone drives the exit status.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.reporting import PerfBaseline
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "check_gac_regression.py"
+_spec = importlib.util.spec_from_file_location("check_gac_regression", _SCRIPT)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+def _baseline(phases: dict[str, tuple[float, int]], host_cores: int = 1) -> PerfBaseline:
+    baseline = PerfBaseline(
+        name="gac-parallel-scan-baseline",
+        dataset="toy",
+        num_vertices=10,
+        num_edges=20,
+        labels=("serial_s", "parallel_s"),
+        host_cores=host_cores,
+    )
+    for name, (total, calls) in phases.items():
+        baseline.phases.append(
+            {"phase": name, "calls": calls, "total_s": total, "self_s": total}
+        )
+    baseline.record("candidate_scan_w4", 2.0, 1.0)
+    return baseline
+
+
+def _run(tmp_path: Path, committed: PerfBaseline, fresh: PerfBaseline, *extra: str) -> int:
+    committed_path = tmp_path / "BENCH_gac.json"
+    fresh_path = tmp_path / "BENCH_gac.fresh.json"
+    committed.write(committed_path)
+    fresh.write(fresh_path)
+    return gate.main(
+        [str(fresh_path), "--committed", str(committed_path), *extra]
+    )
+
+
+GOOD_COMMITTED = {
+    "serial/followers.search[dict]": (2.0, 100),
+    "serial/followers.search[flat]": (1.0, 100),
+}
+
+
+class TestKernelGate:
+    def test_same_workload_improvement_passes(self, tmp_path):
+        fresh = _baseline({"serial/followers.search[flat]": (0.9, 100)})
+        assert _run(tmp_path, _baseline(GOOD_COMMITTED), fresh) == 0
+
+    def test_same_workload_regression_fails(self, tmp_path):
+        # 2.0/1.5 = 1.33x: under both the fixed floor and the committed
+        # trajectory (2.0x minus tolerance).
+        fresh = _baseline({"serial/followers.search[flat]": (1.5, 100)})
+        assert _run(tmp_path, _baseline(GOOD_COMMITTED), fresh) == 1
+
+    def test_trajectory_may_only_move_up(self, tmp_path):
+        # Committed ratio 3.0x; tolerance-adjusted floor 3.0*(1-0.25) =
+        # 2.25x outranks the fixed 1.8x, so a 2.0x fresh ratio fails
+        # even though it clears the acceptance floor.
+        committed = _baseline(
+            {
+                "serial/followers.search[dict]": (3.0, 100),
+                "serial/followers.search[flat]": (1.0, 100),
+            }
+        )
+        fresh = _baseline({"serial/followers.search[flat]": (1.5, 100)})
+        assert _run(tmp_path, committed, fresh) == 1
+
+    def test_committed_pair_below_floor_fails(self, tmp_path):
+        committed = _baseline(
+            {
+                "serial/followers.search[dict]": (1.5, 100),
+                "serial/followers.search[flat]": (1.0, 100),
+            }
+        )
+        fresh = _baseline({"serial/followers.search[flat]": (0.5, 100)})
+        assert _run(tmp_path, committed, fresh) == 1
+
+    def test_cross_workload_is_report_only(self, tmp_path):
+        # CI shape: fresh re-bench on a different dataset (call counts
+        # differ), in-run ratio under the floor — still exit 0.
+        fresh = _baseline(
+            {
+                "serial/followers.search[flat]": (0.05, 2467),
+                "serial/followers.search[dict]": (0.05, 2467),
+            }
+        )
+        assert _run(tmp_path, _baseline(GOOD_COMMITTED), fresh) == 0
+
+    def test_legacy_committed_phase_is_the_dict_reference(self, tmp_path):
+        # A dict-era committed file (schema <= 3 label, no flat phase):
+        # same workload gates against it at the fixed floor.
+        committed = _baseline({"serial/followers.search": (2.0, 100)})
+        assert (
+            _run(
+                tmp_path,
+                committed,
+                _baseline({"serial/followers.search[flat]": (1.0, 100)}),
+            )
+            == 0
+        )
+        assert (
+            _run(
+                tmp_path,
+                committed,
+                _baseline({"serial/followers.search[flat]": (1.5, 100)}),
+            )
+            == 1
+        )
+
+    def test_missing_flat_phase_fails_when_phases_exist(self, tmp_path):
+        fresh = _baseline({"serial/followers.search[dict]": (2.0, 100)})
+        assert _run(tmp_path, _baseline(GOOD_COMMITTED), fresh) == 1
+
+    def test_no_phase_profile_skips(self, tmp_path):
+        assert _run(tmp_path, _baseline(GOOD_COMMITTED), _baseline({})) == 0
+
+    def test_zero_floor_disables_the_kernel_gate(self, tmp_path):
+        fresh = _baseline({"serial/followers.search[flat]": (1.5, 100)})
+        assert (
+            _run(
+                tmp_path,
+                _baseline(GOOD_COMMITTED),
+                fresh,
+                "--kernel-floor",
+                "0",
+            )
+            == 0
+        )
+
+    def test_tiny_phases_never_gate(self, tmp_path):
+        committed = _baseline(
+            {
+                "serial/followers.search[dict]": (0.001, 100),
+                "serial/followers.search[flat]": (0.004, 100),
+            }
+        )
+        fresh = _baseline({"serial/followers.search[flat]": (0.004, 100)})
+        assert _run(tmp_path, committed, fresh) == 0
+
+
+class TestHeadlineGate:
+    def test_starved_fresh_host_skips_headline_but_keeps_kernel_gate(self, tmp_path):
+        fresh = _baseline({"serial/followers.search[flat]": (1.5, 100)})
+        assert fresh.host_cores == 1
+        assert _run(tmp_path, _baseline(GOOD_COMMITTED), fresh) == 1
+
+    def test_eligible_host_gates_the_recorded_speedup(self, tmp_path):
+        committed = _baseline(GOOD_COMMITTED, host_cores=4)
+        good = _baseline(
+            {"serial/followers.search[flat]": (0.9, 100)}, host_cores=4
+        )
+        assert _run(tmp_path, committed, good) == 0
+        bad = _baseline(
+            {"serial/followers.search[flat]": (0.9, 100)}, host_cores=4
+        )
+        bad.primitives.clear()
+        bad.record("candidate_scan_w4", 2.0, 2.0)  # 1.0x < the 1.5x floor
+        assert _run(tmp_path, committed, bad) == 1
+
+    def test_starved_primitive_entry_reads_as_missing(self, tmp_path):
+        committed = _baseline(GOOD_COMMITTED, host_cores=4)
+        fresh = _baseline(
+            {"serial/followers.search[flat]": (0.9, 100)}, host_cores=4
+        )
+        fresh.primitives.clear()
+        fresh.record_starved("candidate_scan_w4", 2.0)
+        assert _run(tmp_path, committed, fresh) == 1
+
+
+@pytest.mark.parametrize("bad", ["{not json", '{"schema": 99}'])
+def test_bad_input_is_exit_2(tmp_path, bad):
+    path = tmp_path / "bad.json"
+    path.write_text(bad, encoding="utf-8")
+    assert gate.main([str(path)]) == 2

@@ -1,7 +1,7 @@
 """Tests for the whole-program analysis engine (repro.lint.program).
 
 Covers the project model (module naming, import tagging, call-graph
-resolution), each L1–L4 pass against its seeded-violation corpus case
+resolution), each L1–L5 pass against its seeded-violation corpus case
 under ``tests/lint_corpus/`` (every pass must fire — an inert pass
 fails here, not silently in CI), the clean-tree acceptance criterion,
 the SARIF 2.1.0 exporter round-trip and validator, the parse cache,
@@ -176,6 +176,7 @@ class TestSeededCorpus:
             ("worker_race", "L2"),
             ("obs_coverage", "L3"),
             ("checkpoint_contract", "L4"),
+            ("numpy_containment", "L5"),
         ],
     )
     def test_every_pass_fires(self, case, pass_id):
@@ -229,6 +230,18 @@ class TestSeededCorpus:
         assert "shipped_chunk" not in silent
         assert "waived_chunk" not in silent
         assert "dispatch" not in silent
+
+    def test_numpy_containment_flags_both_breaches_only(self):
+        diags = corpus_diags("numpy_containment", passes=["L5"])
+        codes = sorted(d.code for d in diags)
+        # The eager and the lazy breach fire; the waived line, the
+        # sanctioned backend module, and stdlib imports stay quiet.
+        assert codes == [
+            "repro.analysis.leak -> numpy",
+            "repro.analysis.leak -> numpy.linalg",
+        ]
+        assert all("sanctioned only" in d.message for d in diags)
+        assert not any("numpy_backend" in d.path for d in diags)
 
     def test_checkpoint_contract_both_directions(self):
         diags = corpus_diags("checkpoint_contract", passes=["L4"])

@@ -488,7 +488,7 @@ class TestWorkerLineageCache:
                     if u not in lineage
                 ][:6]
                 payload = (
-                    (epoch, lineage),
+                    (epoch, lineage, None),  # kernel None: worker resolves
                     0,
                     None,  # pickle channel: everything comes back inline
                     tuple((u, None) for u in candidates),
@@ -534,7 +534,7 @@ class TestWorkerLineageCache:
 # ----------------------------------------------------------------------
 def _soft_crash_evaluate(payload):
     """Evaluate normally in round 0, blow up from round 1 on."""
-    if payload[0][0] >= 1:  # payload[0] is the (epoch, lineage) header
+    if payload[0][0] >= 1:  # payload[0] is the (epoch, lineage, kernel) header
         raise RuntimeError("synthetic worker failure")
     return worker_mod.evaluate_chunk(payload)
 

@@ -314,6 +314,93 @@ def test_kill_and_resume_matches_the_uninterrupted_oracle(
     assert fingerprint(resumed) == fingerprint(oracle)
 
 
+# ----------------------------------------------------------------------
+# Follower-kernel differential harness (docs/kernels.md): every
+# available backend must be byte-identical to the dict oracle — follower
+# counts, member sets, AND the Figure-13 counters — on random graphs
+# including the corners the flat tables care about (disconnected
+# components, isolated vertices, rejected self-loops).
+
+from repro import obs
+from repro.anchors import kernels
+from repro.anchors.followers import FollowerCounters
+from repro.graphs.graph import Graph, GraphError
+
+AVAILABLE_KERNELS = ("dict", "flat") + (
+    ("numpy",) if kernels.numpy_available() else ()
+)
+
+
+@st.composite
+def kernel_corner_graph_and_vertex(draw, max_vertices: int = 20, max_edges: int = 40):
+    """Random graphs hitting the kernel corners.
+
+    Unlike :func:`conftest.graph_strategy` there is no connecting
+    backbone, so isolated vertices and disconnected components are
+    common; self-loop insertions are *attempted* and must be rejected by
+    the Graph API (the kernels assume simple graphs — the flat backend's
+    pre-discard-x trick is only sound without self-loops).
+    """
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    graph = Graph()
+    for u in range(n):
+        graph.add_vertex(u)
+    for _ in range(draw(st.integers(min_value=0, max_value=max_edges))):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v:
+            with pytest.raises(GraphError):
+                graph.add_edge(u, v)
+        else:
+            graph.add_edge_if_absent(u, v)
+    x = draw(st.integers(min_value=0, max_value=n - 1))
+    return graph, x
+
+
+def _kernel_observables(graph, x, kernel):
+    """Everything the byte-identity contract covers, for one backend."""
+    state = AnchoredState.build(graph)
+    window = obs.window()
+    report = find_followers(state, x, kernel=kernel)
+    return report.counts, report.members, vars(FollowerCounters.from_window(window))
+
+
+@given(kernel_corner_graph_and_vertex())
+@FAST
+def test_kernel_backends_byte_identical(pair):
+    """All available backends agree with the dict oracle to the byte."""
+    graph, x = pair
+    oracle = _kernel_observables(graph, x, "dict")
+    for kernel in AVAILABLE_KERNELS[1:]:
+        assert _kernel_observables(graph, x, kernel) == oracle, kernel
+    # ...and the oracle itself agrees with brute force.
+    state = AnchoredState.build(graph)
+    assert find_followers(state, x, kernel="dict").all_members() == followers_naive(
+        graph, x
+    )
+
+
+@given(kernel_corner_graph_and_vertex(max_vertices=14))
+@SLOW
+def test_kernel_backends_identical_through_gac(pair):
+    """Whole greedy runs (anchors, gains, counters) match across backends."""
+    graph, _ = pair
+    budget = min(3, graph.num_vertices)
+    reference = None
+    for kernel in AVAILABLE_KERNELS:
+        result = gac(graph, budget, kernel=kernel)
+        observed = (
+            result.anchors,
+            result.gains,
+            result.followers,
+            [vars(t.counters) for t in result.traces],
+        )
+        if reference is None:
+            reference = observed
+        else:
+            assert observed == reference, kernel
+
+
 @given(graph_and_vertex(max_vertices=16))
 @SLOW
 def test_in_place_anchor_matches_fresh_build(pair):

@@ -103,7 +103,7 @@ class TestPerfBaseline:
         baseline.notes.append("a note")
         path = baseline.write(tmp_path / "BENCH_substrate.json")
         payload = json.loads(path.read_text())
-        assert payload["schema"] == 3
+        assert payload["schema"] == 4
         assert payload["mode"] == "smoke"
         assert payload["phases"] == []
         assert payload["labels"] == ["dict_s", "csr_s"]
@@ -147,7 +147,7 @@ class TestPerfBaseline:
         table = baseline.as_table()
         assert table.headers == ["primitive", "serial_s", "parallel_s", "speedup"]
 
-    def test_load_round_trips_schema3(self, tmp_path):
+    def test_load_round_trips_current_schema(self, tmp_path):
         baseline = PerfBaseline(
             name="gac-parallel-baseline",
             dataset="toy",
@@ -163,6 +163,64 @@ class TestPerfBaseline:
         assert loaded.host_cores == 4
         assert loaded.speedup("candidate_scan_w4") == 2.0  # lint: float-eq-ok round(3) exact
         assert loaded.primitives == baseline.primitives
+
+    def test_record_starved_writes_null_not_a_time(self):
+        baseline = PerfBaseline(
+            name="gac-parallel-baseline",
+            dataset="toy",
+            num_vertices=10,
+            num_edges=20,
+            labels=("serial_s", "parallel_s"),
+            host_cores=1,
+        )
+        entry = baseline.record_starved("candidate_scan_w4", 2.0)
+        assert entry == {
+            "primitive": "candidate_scan_w4",
+            "serial_s": 2.0,
+            "parallel_s": None,
+            "speedup": None,
+            "starved": True,
+        }
+        # The gate's reader sees "no usable speedup", not a bogus one.
+        assert baseline.speedup("candidate_scan_w4") is None
+
+    def test_load_round_trips_schema4_starved_entry(self, tmp_path):
+        baseline = PerfBaseline(
+            name="gac-parallel-baseline",
+            dataset="toy",
+            num_vertices=10,
+            num_edges=20,
+            labels=("serial_s", "parallel_s"),
+            host_cores=1,
+        )
+        baseline.record_starved("candidate_scan_w2", 2.0)
+        loaded = PerfBaseline.load(baseline.write(tmp_path / "BENCH_gac.json"))
+        assert loaded.schema == 4
+        assert loaded.primitives == baseline.primitives
+
+    def test_load_accepts_schema3(self, tmp_path):
+        import json
+
+        payload = {
+            "name": "gac-parallel-baseline",
+            "schema": 3,
+            "mode": "full",
+            "dataset": {"name": "toy", "num_vertices": 10, "num_edges": 20},
+            "best_of": 3,
+            "labels": ["serial_s", "parallel_s"],
+            "host_cores": 4,
+            "csr_build_s": None,
+            "primitives": [
+                {"primitive": "p", "serial_s": 0.4, "parallel_s": 0.1, "speedup": 4.0}
+            ],
+            "phases": [],
+            "notes": [],
+        }
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        loaded = PerfBaseline.load(path)
+        assert loaded.schema == 3
+        assert loaded.speedup("p") == 4.0  # lint: float-eq-ok exact json
 
     def test_load_accepts_schema2_with_implicit_labels(self, tmp_path):
         import json
