@@ -1,329 +1,23 @@
-"""CI gate: the parallel candidate scan must not regress below baseline.
+"""CI gate shim — the logic now lives in ``repro.bench.gate``.
 
-Compares a freshly benchmarked ``BENCH_gac.json`` (written by
-``benchmarks/bench_fig12_runtime.py::test_gac_parallel_scan_baseline``
-with ``REPRO_BENCH_GAC_OUT`` pointing somewhere new) against the
-trajectory committed at the repository root — the same pattern as the
-CSR-vs-dict check in ``bench_perf_substrate.py``, but across commits
-instead of within one run.
+This script kept the parallel candidate scan and the follower-kernel
+rewrite honest across commits (w4 speedup floor, trajectory-only-up,
+kernel dict/flat floor, starved-host skips). Those rules moved into
+``python -m repro.bench gate`` — the unified gate that also covers the
+schema-5 workload-grid artifacts — and this entry point delegates
+verbatim so existing invocations and the parity tests keep working.
 
-Gate logic (honest about hardware):
-
-* the gate only *applies* when the fresh run's ``host_cores`` is at
-  least ``--min-cores`` (default 4) — with fewer cores the workers
-  time-slice and the measurement says nothing about the scan;
-* the floor is ``--floor`` (default 1.5×, the acceptance criterion);
-* when the committed file was itself produced on a gate-eligible host,
-  its recorded speedup (minus ``--tolerance`` runner noise, default
-  10%) raises the floor — the trajectory may only move up. A committed
-  baseline from a starved host (like the 1-core seed measurement)
-  contributes nothing, so the fixed floor carries the gate.
-
-A second, independent gate covers the follower-kernel rewrite
-(``serial/followers.search[flat]`` vs the dict oracle's phase, which
-every schema-4 bench records as an in-run A/B pair):
-
-* the **committed** file's own dict/flat pair must show flat ahead by
-  at least ``--kernel-floor`` (default 1.8×, the acceptance criterion
-  recorded against livejournal) — committing a ``BENCH_gac.json``
-  whose kernel ratio regressed below the floor fails CI outright;
-* when the fresh run re-measured the committed workload (same call
-  count), fresh flat is gated directly against the committed dict
-  total, with the committed ratio — minus the ``repro.obs.diffs``
-  relative tolerance — raising the floor: the trajectory may only
-  move up;
-* on a *different* workload (CI re-benches brightkite against the
-  committed livejournal trajectory) the in-run A/B is printed
-  report-only — per-call costs are workload-dependent, and on replicas
-  whose searches run tens of microseconds the ratio measures span
-  overhead, not the kernel.
-
-Phases under the diffs module's absolute floor never gate (timer
-noise). Unlike the headline gate the kernel gate applies on *any*
-host: it measures a serial phase, so core starvation is irrelevant.
-
-Below the headline verdict the check prints a **phase-level breakdown**
-(``repro.obs.diffs`` with its variance-aware thresholds) naming which
-phases moved between the committed and fresh profiles — report-only
-diagnostics so a FAIL points at the regressing phase instead of just
-the ratio; the exit status is governed by the two gates alone.
+Prefer ``python -m repro.bench gate`` in new automation; see
+``docs/benchmarking.md`` for the full rule set.
 
 Exit status: 0 pass / skipped-not-applicable, 1 regression, 2 bad input.
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
-from pathlib import Path
 
-from repro.experiments.reporting import PerfBaseline
-from repro.obs.diffs import (
-    DEFAULT_ABS_FLOOR_S,
-    DEFAULT_REL_TOL,
-    diff_baselines,
-    diff_table,
-)
-
-#: Phase labels the kernel gate reads (``docs/kernels.md``).
-KERNEL_PHASE_FLAT = "serial/followers.search[flat]"
-KERNEL_PHASE_DICT = "serial/followers.search[dict]"
-#: The dict-era label written before backends existed (schema <= 3).
-KERNEL_PHASE_LEGACY = "serial/followers.search"
-
-
-def _speedup(baseline: PerfBaseline, primitive: str) -> float | None:
-    value = baseline.speedup(primitive)
-    return value if isinstance(value, float) and value > 0 else None
-
-
-def main(argv: "list[str] | None" = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("fresh", type=Path, help="freshly benchmarked BENCH_gac.json")
-    parser.add_argument(
-        "--committed",
-        type=Path,
-        default=Path("BENCH_gac.json"),
-        help="committed trajectory to gate against (default: ./BENCH_gac.json)",
-    )
-    parser.add_argument(
-        "--primitive",
-        default="candidate_scan_w4",
-        help="baseline entry to gate (default: candidate_scan_w4)",
-    )
-    parser.add_argument(
-        "--floor",
-        type=float,
-        default=1.5,
-        help="minimum acceptable speedup on a gate-eligible host (default: 1.5)",
-    )
-    parser.add_argument(
-        "--min-cores",
-        type=int,
-        default=4,
-        help="host cores below which the gate is not applicable (default: 4)",
-    )
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=0.10,
-        help="fractional runner-noise allowance vs the committed speedup",
-    )
-    parser.add_argument(
-        "--kernel-floor",
-        type=float,
-        default=1.8,
-        help="minimum flat-over-dict ratio on serial/followers.search "
-        "(default: 1.8; 0 disables the kernel gate)",
-    )
-    args = parser.parse_args(argv)
-
-    try:
-        fresh = PerfBaseline.load(args.fresh)
-    except (OSError, ValueError, KeyError) as exc:
-        print(f"check_gac_regression: cannot read fresh baseline: {exc}")
-        return 2
-
-    committed: PerfBaseline | None = None
-    if args.committed.exists():
-        try:
-            committed = PerfBaseline.load(args.committed)
-        except (OSError, ValueError, KeyError) as exc:
-            print(f"check_gac_regression: cannot read committed baseline: {exc}")
-            return 2
-
-    kernel_ok = (
-        _kernel_gate(committed, fresh, floor=args.kernel_floor)
-        if args.kernel_floor > 0
-        else True
-    )
-
-    cores = fresh.host_cores
-    if cores is None or cores < args.min_cores:
-        print(
-            f"check_gac_regression: SKIP — fresh run has host_cores={cores} "
-            f"(< {args.min_cores}); workers time-slice, speedup is meaningless"
-        )
-        return 0 if kernel_ok else 1
-
-    speedup = _speedup(fresh, args.primitive)
-    if speedup is None:
-        print(
-            f"check_gac_regression: FAIL — {args.primitive} missing from "
-            f"{args.fresh} (recorded: "
-            f"{sorted(e.get('primitive') for e in fresh.primitives)})"
-        )
-        return 1
-
-    floor = args.floor
-    committed_note = "no committed gate-eligible baseline"
-    if committed is not None:
-        committed_speedup = _speedup(committed, args.primitive)
-        committed_cores = committed.host_cores
-        if (
-            committed_speedup is not None
-            and committed_cores is not None
-            and committed_cores >= args.min_cores
-        ):
-            trajectory = committed_speedup * (1.0 - args.tolerance)
-            if trajectory > floor:
-                floor = trajectory
-            committed_note = (
-                f"committed {args.primitive}={committed_speedup:.3f}x "
-                f"on {committed_cores} cores"
-            )
-        else:
-            committed_note = (
-                f"committed baseline not gate-eligible "
-                f"(host_cores={committed_cores}, "
-                f"speedup={committed_speedup})"
-            )
-
-    verdict = "PASS" if speedup >= floor else "FAIL"
-    print(
-        f"check_gac_regression: {verdict} — {args.primitive} "
-        f"{speedup:.3f}x on {cores} cores (floor {floor:.3f}x; "
-        f"{committed_note})"
-    )
-    _phase_breakdown(committed, fresh)
-    return 0 if verdict == "PASS" and kernel_ok else 1
-
-
-def _phase(baseline: "PerfBaseline | None", name: str) -> "tuple[float, int] | None":
-    """``(total_s, calls)`` for a recorded phase, or None when absent."""
-    if baseline is None:
-        return None
-    for entry in baseline.phases:
-        if entry.get("phase") != name:
-            continue
-        total = entry.get("total_s")
-        calls = entry.get("calls")
-        if isinstance(total, (int, float)):
-            return (
-                float(total),
-                int(calls) if isinstance(calls, (int, float)) else 0,
-            )
-    return None
-
-
-def _kernel_gate(
-    committed: "PerfBaseline | None",
-    fresh: PerfBaseline,
-    *,
-    floor: float,
-    rel_tol: float = DEFAULT_REL_TOL,
-    abs_floor_s: float = DEFAULT_ABS_FLOOR_S,
-) -> bool:
-    """Gate the flat follower kernel against the dict oracle's phase.
-
-    Returns True on pass or not-applicable; prints one verdict line
-    either way. See the module docstring for the reference-selection
-    and trajectory rules.
-    """
-    flat = _phase(fresh, KERNEL_PHASE_FLAT)
-    if flat is None:
-        if fresh.phases:
-            print(
-                "kernel gate: FAIL — fresh baseline records phases but "
-                f"no {KERNEL_PHASE_FLAT} (did the bench stop measuring "
-                "the flat backend?)"
-            )
-            return False
-        print("kernel gate: SKIP — fresh baseline carries no phase profile")
-        return True
-    committed_dict = _phase(committed, KERNEL_PHASE_DICT) or _phase(
-        committed, KERNEL_PHASE_LEGACY
-    )
-    committed_flat = _phase(committed, KERNEL_PHASE_FLAT)
-    ok = True
-
-    # 1. The committed trajectory itself must hold the acceptance
-    #    criterion: its own dict/flat pair (same workload by
-    #    construction) at or above the floor.
-    committed_ratio: "float | None" = None
-    if (
-        committed_dict is not None
-        and committed_flat is not None
-        and committed_flat[0] > 0.0
-        and committed_dict[1] == committed_flat[1]
-        and committed_dict[0] >= abs_floor_s
-    ):
-        committed_ratio = committed_dict[0] / committed_flat[0]
-        verdict = "PASS" if committed_ratio >= floor else "FAIL"
-        print(
-            f"kernel gate: {verdict} — committed baseline records flat "
-            f"beating dict {committed_ratio:.3f}x on its own workload "
-            f"(floor {floor:.3f}x)"
-        )
-        ok = verdict == "PASS"
-
-    # 2. Fresh vs committed, gated only on a matching workload; the
-    #    committed ratio (noise-tolerant) may only be improved upon.
-    if committed_dict is not None and committed_dict[1] == flat[1] > 0:
-        if committed_dict[0] < abs_floor_s or flat[0] <= 0.0:
-            print(
-                "kernel gate: SKIP — committed dict phase "
-                f"{committed_dict[0]:.4f}s is under the {abs_floor_s:.3f}s "
-                "classification floor"
-            )
-            return ok
-        required = floor
-        if committed_ratio is not None:
-            trajectory = committed_ratio * (1.0 - rel_tol)
-            if trajectory > required:
-                required = trajectory
-        ratio = committed_dict[0] / flat[0]
-        verdict = "PASS" if ratio >= required else "FAIL"
-        print(
-            f"kernel gate: {verdict} — fresh flat beats the committed dict "
-            f"phase {ratio:.3f}x (same workload; floor {required:.3f}x)"
-        )
-        return ok and verdict == "PASS"
-
-    # 3. Different workload: the fresh in-run A/B is diagnostic only.
-    fresh_dict = _phase(fresh, KERNEL_PHASE_DICT)
-    if fresh_dict is not None and flat[0] > 0.0:
-        print(
-            "kernel gate: report-only — fresh workload differs from the "
-            f"committed one; in-run flat-over-dict ratio "
-            f"{fresh_dict[0] / flat[0]:.3f}x "
-            f"({fresh_dict[0]:.4f}s dict / {flat[0]:.4f}s flat)"
-        )
-    else:
-        print(
-            "kernel gate: report-only — fresh workload differs from the "
-            "committed one and records no in-run dict reference"
-        )
-    return ok
-
-
-def _phase_breakdown(committed: PerfBaseline | None, fresh: PerfBaseline) -> None:
-    """Report-only: name the phases that moved between the two runs.
-
-    Never changes the exit status — phase totals on shared runners are
-    noisy diagnostics, not a gate; the variance-aware thresholds in
-    :mod:`repro.obs.diffs` keep the named list short and meaningful.
-    """
-    if committed is None:
-        print("phase breakdown: no committed baseline to diff against")
-        return
-    if not committed.phases or not fresh.phases:
-        print(
-            "phase breakdown: skipped — committed and/or fresh baseline "
-            "carries no phase profile (re-benched with an older bench?)"
-        )
-        return
-    deltas = diff_baselines(committed, fresh)
-    regressed = [d.phase for d in deltas if d.verdict == "regressed"]
-    if regressed:
-        print(
-            f"phase breakdown: {len(regressed)} phase(s) regressed vs the "
-            f"committed profile: {', '.join(regressed)}"
-        )
-    else:
-        print("phase breakdown: no phase regressed vs the committed profile")
-    print(diff_table(deltas, title="phase diff — committed vs fresh").format())
-
+from repro.bench.gate import main
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -1,0 +1,251 @@
+"""Declarative workload-grid specs for the bench runner.
+
+A grid spec is a checked-in JSON file (``benchmarks/grids/``) naming
+the axes the paper's own evaluation sweeps (Table 4 / Figure 12 are
+dataset × budget grids) plus the execution axes this repo adds:
+
+.. code-block:: json
+
+    {
+     "name": "gac-workload-grid",
+     "spec_schema": 1,
+     "best_of": 3,
+     "axes": {
+      "datasets": ["brightkite", "livejournal"],
+      "budgets": [2, 6],
+      "workers": [0, 2, 4],
+      "kernels": ["flat"],
+      "strategies": ["anchor"]
+     },
+     "serial_kernels": ["dict"]
+    }
+
+``axes`` is a full cross-product; ``serial_kernels`` adds extra
+kernels that run at ``workers=0`` only — the in-run A/B reference legs
+the kernel gate reads (running the dict oracle across every worker
+count would measure nothing new). ``strategies`` is the reserved axis
+for budgeted reinforcement levers beyond anchoring ("K-Core
+Maximization through Edge Additions" has the same budget-greedy
+shape); only the strategies in :data:`repro.bench.runner.STRATEGIES`
+are runnable today and an unknown name fails spec validation loudly.
+
+``workers`` must include ``0``: the serial cell is the identity
+reference every other cell in its (dataset, budget, strategy) group is
+asserted byte-identical against, and the denominator of every speedup.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: The one spec layout this module reads; bump on layout changes.
+SPEC_SCHEMA = 1
+
+#: Known axis strategies (kept next to the spec so validation does not
+#: import the algorithm stack; the runner maps these to callables).
+KNOWN_STRATEGIES = ("anchor",)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One grid cell: a single measured configuration."""
+
+    dataset: str
+    budget: int
+    workers: int
+    kernel: str
+    strategy: str
+
+    @property
+    def cell_id(self) -> str:
+        """The stable slug naming this cell everywhere (phases, gates,
+        JSON artifacts): ``<dataset>/b<budget>/w<workers>/<kernel>/<strategy>``."""
+        return (
+            f"{self.dataset}/b{self.budget}/w{self.workers}/"
+            f"{self.kernel}/{self.strategy}"
+        )
+
+    @property
+    def group(self) -> tuple[str, int, str]:
+        """The identity group — cells here must agree byte for byte."""
+        return (self.dataset, self.budget, self.strategy)
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A validated workload grid (see the module docstring)."""
+
+    name: str
+    best_of: int
+    datasets: tuple[str, ...]
+    budgets: tuple[int, ...]
+    workers: tuple[int, ...]
+    kernels: tuple[str, ...]
+    strategies: tuple[str, ...]
+    serial_kernels: tuple[str, ...] = field(default=())
+
+    def cells(self) -> list[Cell]:
+        """The ordered cell list: per (dataset, budget, strategy) group
+        the serial default-kernel cell comes first (it is the identity
+        and speedup reference), then the serial reference kernels, then
+        the remaining worker × kernel combinations, workers ascending."""
+        out: list[Cell] = []
+        for dataset in self.datasets:
+            for budget in self.budgets:
+                for strategy in self.strategies:
+                    for kernel in self.kernels:
+                        out.append(Cell(dataset, budget, 0, kernel, strategy))
+                    for kernel in self.serial_kernels:
+                        out.append(Cell(dataset, budget, 0, kernel, strategy))
+                    for workers in sorted(w for w in self.workers if w > 0):
+                        for kernel in self.kernels:
+                            out.append(
+                                Cell(dataset, budget, workers, kernel, strategy)
+                            )
+        return out
+
+    def reference(self, cell: Cell) -> Cell:
+        """The serial default-kernel cell of ``cell``'s identity group."""
+        return Cell(cell.dataset, cell.budget, 0, self.kernels[0], cell.strategy)
+
+    def smoke(self) -> "GridSpec":
+        """A deterministic single-cell-per-axis shrink for CI smoke:
+        first dataset, smallest budget, serial plus the smallest
+        nonzero worker count, default kernel (reference kernels kept —
+        the kernel gate's A/B pair must survive the shrink), one
+        repeat."""
+        nonzero = sorted(w for w in self.workers if w > 0)
+        workers = (0, nonzero[0]) if nonzero else (0,)
+        return GridSpec(
+            name=f"{self.name}-smoke",
+            best_of=1,
+            datasets=(self.datasets[0],),
+            budgets=(min(self.budgets),),
+            workers=workers,
+            kernels=(self.kernels[0],),
+            strategies=(self.strategies[0],),
+            serial_kernels=self.serial_kernels,
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        """The JSON echo embedded in schema-5 artifacts."""
+        return {
+            "name": self.name,
+            "spec_schema": SPEC_SCHEMA,
+            "best_of": self.best_of,
+            "axes": {
+                "datasets": list(self.datasets),
+                "budgets": list(self.budgets),
+                "workers": list(self.workers),
+                "kernels": list(self.kernels),
+                "strategies": list(self.strategies),
+            },
+            "serial_kernels": list(self.serial_kernels),
+        }
+
+
+def _str_axis(raw: object, label: str, path: Path) -> tuple[str, ...]:
+    if (
+        not isinstance(raw, list)
+        or not raw
+        or not all(isinstance(v, str) and v for v in raw)
+    ):
+        raise ValueError(
+            f"grid spec {path}: '{label}' must be a non-empty list of strings"
+        )
+    if len(set(raw)) != len(raw):
+        raise ValueError(f"grid spec {path}: '{label}' has duplicates: {raw}")
+    return tuple(raw)
+
+
+def _int_axis(raw: object, label: str, path: Path) -> tuple[int, ...]:
+    if (
+        not isinstance(raw, list)
+        or not raw
+        or not all(isinstance(v, int) and not isinstance(v, bool) for v in raw)
+    ):
+        raise ValueError(
+            f"grid spec {path}: '{label}' must be a non-empty list of ints"
+        )
+    if len(set(raw)) != len(raw):
+        raise ValueError(f"grid spec {path}: '{label}' has duplicates: {raw}")
+    return tuple(raw)
+
+
+def load_grid(path: Path) -> GridSpec:
+    """Parse and validate a grid spec file.
+
+    Raises ``ValueError`` with a one-line message on any problem —
+    unreadable JSON, wrong ``spec_schema``, malformed axes, a budget or
+    worker count that cannot be swept, or an unknown strategy — so CLI
+    consumers can exit 2 without a traceback.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"grid spec {path}: not valid JSON ({exc})") from exc
+    if not isinstance(payload, dict):
+        raise ValueError(f"grid spec {path}: payload is not a JSON object")
+    spec_schema = payload.get("spec_schema")
+    if spec_schema != SPEC_SCHEMA:
+        raise ValueError(
+            f"grid spec {path}: unsupported spec_schema {spec_schema!r} "
+            f"(this reader understands {SPEC_SCHEMA})"
+        )
+    name = payload.get("name")
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"grid spec {path}: 'name' must be a non-empty string")
+    best_of = payload.get("best_of", 1)
+    if not isinstance(best_of, int) or isinstance(best_of, bool) or best_of < 1:
+        raise ValueError(f"grid spec {path}: 'best_of' must be an int >= 1")
+    axes = payload.get("axes")
+    if not isinstance(axes, dict):
+        raise ValueError(f"grid spec {path}: 'axes' must be an object")
+    unknown = set(axes) - {"datasets", "budgets", "workers", "kernels", "strategies"}
+    if unknown:
+        raise ValueError(f"grid spec {path}: unknown axes {sorted(unknown)}")
+    datasets = _str_axis(axes.get("datasets"), "axes.datasets", path)
+    budgets = _int_axis(axes.get("budgets"), "axes.budgets", path)
+    workers = _int_axis(axes.get("workers"), "axes.workers", path)
+    kernels = _str_axis(axes.get("kernels"), "axes.kernels", path)
+    strategies = _str_axis(
+        axes.get("strategies", ["anchor"]), "axes.strategies", path
+    )
+    serial_raw = payload.get("serial_kernels", [])
+    serial_kernels = (
+        _str_axis(serial_raw, "serial_kernels", path) if serial_raw else ()
+    )
+    if any(b < 1 for b in budgets):
+        raise ValueError(f"grid spec {path}: budgets must be >= 1, got {budgets}")
+    if any(w < 0 for w in workers):
+        raise ValueError(f"grid spec {path}: workers must be >= 0, got {workers}")
+    if 0 not in workers:
+        raise ValueError(
+            f"grid spec {path}: axes.workers must include 0 — the serial "
+            "cell is the identity reference and every speedup's denominator"
+        )
+    for strategy in strategies:
+        if strategy not in KNOWN_STRATEGIES:
+            raise ValueError(
+                f"grid spec {path}: unknown strategy {strategy!r} "
+                f"(known: {', '.join(KNOWN_STRATEGIES)})"
+            )
+    overlap = set(serial_kernels) & set(kernels)
+    if overlap:
+        raise ValueError(
+            f"grid spec {path}: serial_kernels duplicates kernels axis "
+            f"entries: {sorted(overlap)}"
+        )
+    return GridSpec(
+        name=name,
+        best_of=best_of,
+        datasets=datasets,
+        budgets=budgets,
+        workers=tuple(sorted(workers)),
+        kernels=kernels,
+        strategies=strategies,
+        serial_kernels=serial_kernels,
+    )

@@ -139,7 +139,14 @@ class PerfBaseline:
     record a ``null`` fast-path column with ``"starved": true`` instead
     of a meaningless time-sliced measurement, and follower-search phase
     names carry the kernel backend label —
-    ``serial/followers.search[flat]`` — per ``docs/kernels.md``).
+    ``serial/followers.search[flat]`` — per ``docs/kernels.md``;
+    5: workload-grid artifacts from :mod:`repro.bench` — ``grid``
+    echoes the grid spec the runner swept and ``cells`` holds one
+    entry per dataset × budget × workers × kernel × strategy cell
+    with variance-aware wall/scan statistics (min/median/max/spread
+    over the recorded repeats) instead of two-column ``primitives``;
+    per-cell phase profiles land in ``phases`` under a ``<cell>/``
+    prefix — see ``docs/benchmarking.md``).
     """
 
     name: str
@@ -155,6 +162,10 @@ class PerfBaseline:
     primitives: list[dict[str, object]] = field(default_factory=list)
     phases: list[dict[str, object]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: Schema-5 grid artifacts: one entry per swept cell (see
+    #: ``docs/benchmarking.md``) and an echo of the grid spec.
+    cells: list[dict[str, object]] = field(default_factory=list)
+    grid: dict[str, object] | None = None
 
     def record(self, primitive: str, base_s: float, fast_s: float) -> dict[str, object]:
         """Append one primitive's timings; speedup is ``base_s / fast_s``.
@@ -216,7 +227,7 @@ class PerfBaseline:
         return table
 
     def to_json(self) -> str:
-        payload = {
+        payload: dict[str, object] = {
             "name": self.name,
             "schema": self.schema,
             "mode": self.mode,
@@ -233,6 +244,9 @@ class PerfBaseline:
             "phases": self.phases,
             "notes": list(self.notes),
         }
+        if self.schema >= 5:
+            payload["grid"] = self.grid
+            payload["cells"] = self.cells
         return json.dumps(payload, indent=1)
 
     def write(self, path: Path) -> Path:
@@ -245,18 +259,30 @@ class PerfBaseline:
         """Rehydrate a baseline written by :meth:`write`.
 
         Accepts schema 2 (implicit ``dict_s``/``csr_s`` columns, no
-        ``host_cores``), 3, and 4 (starved entries, backend-labeled
-        phases); anything else raises ``ValueError`` so CI gates fail
-        loudly on drift rather than comparing mislabeled columns.
+        ``host_cores``), 3, 4 (starved entries, backend-labeled
+        phases), and 5 (workload-grid ``cells``); anything else —
+        including truncated or garbled JSON — raises ``ValueError``
+        with a one-line message so CI gates fail loudly on drift
+        rather than comparing mislabeled columns.
         """
-        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"not valid JSON ({exc}) in {path}") from exc
+        if not isinstance(payload, dict):
+            raise ValueError(f"baseline payload is not a JSON object in {path}")
         schema = payload.get("schema")
-        if schema not in (2, 3, 4):
+        if schema not in (2, 3, 4, 5):
             raise ValueError(f"unsupported PerfBaseline schema {schema!r} in {path}")
+        if not isinstance(payload.get("name"), str):
+            raise ValueError(f"baseline carries no 'name' string in {path}")
         labels = payload.get("labels", ["dict_s", "csr_s"])
         if not (isinstance(labels, list) and len(labels) == 2):
             raise ValueError(f"malformed labels {labels!r} in {path}")
         dataset = payload.get("dataset", {})
+        if not isinstance(dataset, dict):
+            raise ValueError(f"malformed dataset block {dataset!r} in {path}")
+        grid = payload.get("grid")
         return cls(
             name=payload["name"],
             dataset=dataset.get("name", ""),
@@ -271,4 +297,6 @@ class PerfBaseline:
             primitives=list(payload.get("primitives", [])),
             phases=list(payload.get("phases", [])),
             notes=list(payload.get("notes", [])),
+            cells=list(payload.get("cells", [])),
+            grid=grid if isinstance(grid, dict) else None,
         )

@@ -184,6 +184,53 @@ class TestHeadlineGate:
         assert _run(tmp_path, committed, fresh) == 1
 
 
+class TestStarvedHostPaths:
+    """Cross-host-class pairings: a 1-core baseline committed from a
+    starved dev box meeting a >= 4-core CI run, and the reverse."""
+
+    def test_starved_committed_baseline_gates_fresh_at_fixed_floor(self, tmp_path):
+        # Committed on 1 core: its 2.0x primitive ratio is time-slicing
+        # noise and must NOT become the trajectory floor. A fresh 4-core
+        # run only answers to the fixed 1.5x floor.
+        committed = _baseline(GOOD_COMMITTED, host_cores=1)
+        fresh = _baseline(
+            {"serial/followers.search[flat]": (0.9, 100)}, host_cores=4
+        )
+        fresh.primitives.clear()
+        fresh.record("candidate_scan_w4", 2.0, 1.25)  # 1.6x >= 1.5x fixed
+        assert _run(tmp_path, committed, fresh) == 0
+        fresh.primitives.clear()
+        fresh.record("candidate_scan_w4", 2.0, 1.6)  # 1.25x < 1.5x fixed
+        fresh_path = tmp_path / "below.json"
+        fresh.write(fresh_path)
+        committed_path = tmp_path / "BENCH_gac.json"
+        committed.write(committed_path)
+        assert (
+            gate.main([str(fresh_path), "--committed", str(committed_path)]) == 1
+        )
+
+    def test_eligible_committed_baseline_starved_fresh_skips(self, tmp_path):
+        # The reverse pairing: a 4-core committed baseline re-checked on
+        # a starved 1-core host. Headline must SKIP (exit 0 when the
+        # kernel gate holds) rather than fail on meaningless timings.
+        committed = _baseline(GOOD_COMMITTED, host_cores=4)
+        fresh = _baseline(
+            {"serial/followers.search[flat]": (0.9, 100)}, host_cores=1
+        )
+        fresh.primitives.clear()
+        fresh.record("candidate_scan_w4", 2.0, 4.0)  # 0.5x: ignored, starved
+        assert _run(tmp_path, committed, fresh) == 0
+
+    def test_starved_fresh_skip_message(self, tmp_path, capsys):
+        committed = _baseline(GOOD_COMMITTED, host_cores=4)
+        fresh = _baseline(
+            {"serial/followers.search[flat]": (0.9, 100)}, host_cores=1
+        )
+        assert _run(tmp_path, committed, fresh) == 0
+        out = capsys.readouterr().out
+        assert "SKIP" in out and "host_cores=1" in out
+
+
 @pytest.mark.parametrize("bad", ["{not json", '{"schema": 99}'])
 def test_bad_input_is_exit_2(tmp_path, bad):
     path = tmp_path / "bad.json"

@@ -252,3 +252,108 @@ class TestPerfBaseline:
         path.write_text(json.dumps({"name": "x", "schema": 99}), encoding="utf-8")
         with pytest.raises(ValueError, match="schema"):
             PerfBaseline.load(path)
+
+
+class TestPerfBaselineSchemaMatrix:
+    """The full load() contract: schemas 2-5 load, everything else is a
+    one-line ValueError naming the offending file."""
+
+    def _schema5(self) -> PerfBaseline:
+        baseline = PerfBaseline(
+            name="grid",
+            dataset="toy",
+            num_vertices=10,
+            num_edges=20,
+            schema=5,
+            labels=("serial_s", "parallel_s"),
+            host_cores=4,
+        )
+        baseline.grid = {"name": "g", "spec_schema": 1}
+        baseline.cells = [
+            {
+                "cell": "toy/b1/w0/flat/anchor",
+                "dataset": "toy",
+                "budget": 1,
+                "workers": 0,
+                "kernel": "flat",
+                "strategy": "anchor",
+                "repeats": 3,
+                "wall_s": {"min": 0.1, "median": 0.1, "max": 0.1, "spread": 0.0},
+                "scan_s": {"min": 0.05, "median": 0.05, "max": 0.05, "spread": 0.0},
+                "speedup": None,
+            }
+        ]
+        return baseline
+
+    def test_schema5_roundtrips_cells_and_grid(self, tmp_path):
+        baseline = self._schema5()
+        loaded = PerfBaseline.load(baseline.write(tmp_path / "BENCH_grid.json"))
+        assert loaded.schema == 5
+        assert loaded.grid == baseline.grid
+        assert loaded.cells == baseline.cells
+
+    def test_schema4_payload_omits_grid_keys(self, tmp_path):
+        import json
+
+        baseline = PerfBaseline(
+            name="gac", dataset="toy", num_vertices=10, num_edges=20
+        )
+        payload = json.loads(
+            (baseline.write(tmp_path / "BENCH_gac.json")).read_text()
+        )
+        assert "cells" not in payload and "grid" not in payload
+
+    @pytest.mark.parametrize("schema", [2, 3, 4, 5])
+    def test_every_supported_schema_loads(self, tmp_path, schema):
+        import json
+
+        payload = {
+            "name": "b",
+            "schema": schema,
+            "mode": "full",
+            "dataset": {"name": "toy", "num_vertices": 10, "num_edges": 20},
+            "best_of": 3,
+            "csr_build_s": None,
+            "primitives": [],
+            "phases": [],
+            "notes": [],
+        }
+        if schema >= 3:
+            payload["labels"] = ["serial_s", "parallel_s"]
+            payload["host_cores"] = 4
+        if schema >= 5:
+            payload["cells"] = []
+            payload["grid"] = None
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert PerfBaseline.load(path).schema == schema
+
+    @pytest.mark.parametrize(
+        "text, fragment",
+        [
+            ("{truncated", "not valid JSON"),
+            ("[1, 2]", "not a JSON object"),
+            ('{"schema": 4}', "name"),
+            ('{"name": "x", "schema": null}', "schema"),
+            ('{"name": "x", "schema": 6}', "schema"),
+            (
+                '{"name": "x", "schema": 4, "dataset": "toy"}',
+                "dataset",
+            ),
+            (
+                '{"name": "x", "schema": 4, '
+                '"dataset": {"name": "t", "num_vertices": 1, "num_edges": 1}, '
+                '"labels": ["only-one"]}',
+                "labels",
+            ),
+        ],
+    )
+    def test_rejections_are_one_line_valueerrors(self, tmp_path, text, fragment):
+        path = tmp_path / "bad.json"
+        path.write_text(text, encoding="utf-8")
+        with pytest.raises(ValueError) as err:
+            PerfBaseline.load(path)
+        message = str(err.value)
+        assert fragment in message
+        assert "\n" not in message
+        assert str(path) in message
